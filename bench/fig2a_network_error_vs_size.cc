@@ -1,0 +1,39 @@
+// Figure 2(a): Network data, absolute error vs summary size, uniform-area
+// queries with 25 ranges per query.
+//
+// Paper finding: aware < obliv (2-3x) << qdigest; wavelet competitive;
+// sketch off the scale.
+
+#include "bench/bench_common.h"
+#include "eval/harness.h"
+#include "eval/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sas;
+  const bench::Args args(argc, argv);
+  std::printf("=== Figure 2(a): Network, abs error vs summary size "
+              "(uniform-area queries, 25 ranges) ===\n");
+  const Dataset2D ds = bench::BenchNetwork(args);
+  std::printf("dataset: %zu pairs, total weight %.1f\n", ds.items.size(),
+              ds.total_weight());
+
+  Rng qrng(1001);
+  const QueryBattery battery = UniformAreaQueries(
+      ds.items, ds.domain, static_cast<int>(args.Get("queries", 50)),
+      /*ranges=*/25, /*max_frac=*/0.3, &qrng);
+
+  MethodSet methods;
+  methods.sketch = args.Get("sketch", 1) != 0;
+  Table table({"size", "method", "abs_error", "max_error", "build_s"});
+  for (std::size_t s : bench::SizeSweep(args)) {
+    const auto built = BuildMethods(ds, s, methods, 2000 + s);
+    for (const auto& b : built) {
+      const auto r = EvaluateOnBattery(b, battery);
+      table.AddRow({Table::Int(s), r.method, Table::Num(r.errors.mean_abs),
+                    Table::Num(r.errors.max_abs),
+                    Table::Num(r.build_seconds)});
+    }
+  }
+  table.Print();
+  return 0;
+}

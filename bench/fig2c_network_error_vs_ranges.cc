@@ -1,0 +1,41 @@
+// Figure 2(c): Network data, absolute error vs number of ranges per query,
+// holding total query weight roughly fixed (~0.12 of the data weight).
+//
+// Paper finding: obliv is flat in the number of ranges; aware is several
+// times better at few ranges and converges to obliv at ~40+ ranges.
+
+#include "bench/bench_common.h"
+#include "eval/harness.h"
+#include "eval/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sas;
+  const bench::Args args(argc, argv);
+  std::printf("=== Figure 2(c): Network, abs error vs ranges per query "
+              "(fixed total weight ~0.12) ===\n");
+  const Dataset2D ds = bench::BenchNetwork(args);
+  const WeightPartition part(ds.items, ds.domain);
+  const std::size_t s = static_cast<std::size_t>(args.Get("s", 2700));
+
+  const auto built = BuildMethods(ds, s, MethodSet{}, 78);
+  Table table({"ranges", "mean_weight", "method", "abs_error"});
+  // ranges * 2^-depth ~ 0.12 => depth = log2(ranges / 0.12).
+  for (int ranges : {1, 2, 4, 8, 16, 32, 64}) {
+    int depth = 0;
+    while ((static_cast<double>(ranges) / (1 << depth)) > 0.12) ++depth;
+    Rng qrng(4000 + ranges);
+    const QueryBattery battery = UniformWeightQueries(
+        ds.items, part, static_cast<int>(args.Get("queries", 50)), ranges,
+        depth, &qrng);
+    double mean_weight = 0.0;
+    for (const auto& q : battery.queries) mean_weight += q.exact;
+    mean_weight /= battery.queries.size() * battery.data_total;
+    for (const auto& b : built) {
+      const auto r = EvaluateOnBattery(b, battery);
+      table.AddRow({Table::Int(ranges), Table::Num(mean_weight), r.method,
+                    Table::Num(r.errors.mean_abs)});
+    }
+  }
+  table.Print();
+  return 0;
+}

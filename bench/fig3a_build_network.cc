@@ -1,0 +1,33 @@
+// Figure 3(a): construction throughput (items/s) vs summary size on the
+// Network data, all five methods.
+//
+// Paper finding: obliv fastest (one pass); aware ~2-4x slower (two passes +
+// kd lookups); qdigest and sketch ~2 orders slower; wavelet ~4 orders
+// slower (each point touches logX*logY coefficients).
+
+#include "bench/bench_common.h"
+#include "eval/harness.h"
+#include "eval/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sas;
+  const bench::Args args(argc, argv);
+  std::printf("=== Figure 3(a): Network, construction throughput (items/s) "
+              "vs summary size ===\n");
+  const Dataset2D ds = bench::BenchNetwork(args);
+  const double n = static_cast<double>(ds.items.size());
+
+  MethodSet methods;
+  methods.sketch = true;
+  Table table({"size", "method", "items_per_s", "build_s"});
+  for (std::size_t s : bench::SizeSweep(args)) {
+    const auto built = BuildMethods(ds, s, methods, 5000 + s);
+    for (const auto& b : built) {
+      table.AddRow({Table::Int(s), b.summary->Name(),
+                    Table::Num(n / std::max(b.build_seconds, 1e-9)),
+                    Table::Num(b.build_seconds)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 3(b): construction throughput (items/s) vs summary size on the
+// Tech Ticket data, all five methods. Same trends as Figure 3(a); the
+// paper highlights that wavelets become entirely impractical here.
+
+#include "bench/bench_common.h"
+#include "eval/harness.h"
+#include "eval/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sas;
+  const bench::Args args(argc, argv);
+  std::printf("=== Figure 3(b): Tech Ticket, construction throughput "
+              "(items/s) vs summary size ===\n");
+  const Dataset2D ds = bench::BenchTechTicket(args);
+  const double n = static_cast<double>(ds.items.size());
+
+  MethodSet methods;
+  methods.sketch = true;
+  Table table({"size", "method", "items_per_s", "build_s"});
+  for (std::size_t s : bench::SizeSweep(args)) {
+    const auto built = BuildMethods(ds, s, methods, 6000 + s);
+    for (const auto& b : built) {
+      table.AddRow({Table::Int(s), b.summary->Name(),
+                    Table::Num(n / std::max(b.build_seconds, 1e-9)),
+                    Table::Num(b.build_seconds)});
+    }
+  }
+  table.Print();
+  return 0;
+}

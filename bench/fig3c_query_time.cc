@@ -1,0 +1,42 @@
+// Figure 3(c): time to answer 2500 rectangle queries vs summary size on
+// the Network data.
+//
+// Paper finding: samples (aware == obliv once built) answer thousands of
+// rectangles per second by scanning the sample; wavelet is ~3 orders of
+// magnitude slower per rectangle.
+
+#include "bench/bench_common.h"
+#include "eval/harness.h"
+#include "eval/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sas;
+  const bench::Args args(argc, argv);
+  std::printf("=== Figure 3(c): time to answer 2500 rectangle queries vs "
+              "summary size (Network) ===\n");
+  const Dataset2D ds = bench::BenchNetwork(args);
+
+  // 2500 rectangles = 100 queries x 25 ranges, as in the paper's batch.
+  Rng qrng(1234);
+  const QueryBattery battery = UniformAreaQueries(
+      ds.items, ds.domain, static_cast<int>(args.Get("queries", 100)),
+      /*ranges=*/25, /*max_frac=*/0.3, &qrng);
+  std::size_t rects = 0;
+  for (const auto& q : battery.queries) rects += q.boxes.size();
+  std::printf("battery: %zu rectangles\n", rects);
+
+  MethodSet methods;
+  methods.sketch = true;
+  Table table({"size", "method", "query_s", "rects_per_s"});
+  for (std::size_t s : bench::SizeSweep(args)) {
+    const auto built = BuildMethods(ds, s, methods, 7000 + s);
+    for (const auto& b : built) {
+      const auto r = EvaluateOnBattery(b, battery);
+      table.AddRow({Table::Int(s), r.method, Table::Num(r.query_seconds),
+                    Table::Num(static_cast<double>(rects) /
+                               std::max(r.query_seconds, 1e-9))});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 4(a): Tech Ticket data, absolute error vs summary size,
+// uniform-weight queries.
+//
+// Paper finding: aware and obliv coincide at small sizes (the heavy head
+// forces the same certain inclusions) and diverge at larger sizes, where
+// aware error is less than half of obliv.
+
+#include "bench/bench_common.h"
+#include "eval/harness.h"
+#include "eval/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sas;
+  const bench::Args args(argc, argv);
+  std::printf("=== Figure 4(a): Tech Ticket, abs error vs summary size "
+              "(uniform-weight queries, 10 ranges) ===\n");
+  const Dataset2D ds = bench::BenchTechTicket(args);
+  const WeightPartition part(ds.items, ds.domain);
+
+  Rng qrng(8001);
+  const QueryBattery battery = UniformWeightQueries(
+      ds.items, part, static_cast<int>(args.Get("queries", 50)),
+      /*ranges=*/10, /*depth=*/7, &qrng);
+
+  Table table({"size", "method", "abs_error", "max_error"});
+  for (std::size_t s : bench::SizeSweep(args)) {
+    const auto built = BuildMethods(ds, s, MethodSet{}, 8000 + s);
+    for (const auto& b : built) {
+      const auto r = EvaluateOnBattery(b, battery);
+      table.AddRow({Table::Int(s), r.method, Table::Num(r.errors.mean_abs),
+                    Table::Num(r.errors.max_abs)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 4(b): Tech Ticket data, absolute error vs query weight, with
+// uniform-AREA queries of 25 ranges, fixed summary size.
+//
+// Paper finding: wavelets become competitive at high query weights on this
+// query type, but sampling (aware) stays best overall.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "eval/harness.h"
+#include "eval/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sas;
+  const bench::Args args(argc, argv);
+  std::printf("=== Figure 4(b): Tech Ticket, abs error vs query weight "
+              "(uniform-area queries, 25 ranges, fixed size) ===\n");
+  const Dataset2D ds = bench::BenchTechTicket(args);
+  const std::size_t s = static_cast<std::size_t>(args.Get("s", 2700));
+  const auto built = BuildMethods(ds, s, MethodSet{}, 88);
+
+  Table table({"area_frac", "mean_weight", "method", "abs_error"});
+  // Sweep rectangle scale to sweep query weight.
+  for (double frac : {0.002, 0.01, 0.05, 0.2, 0.5}) {
+    Rng qrng(static_cast<std::uint64_t>(frac * 1e6));
+    const QueryBattery battery = UniformAreaQueries(
+        ds.items, ds.domain, static_cast<int>(args.Get("queries", 50)),
+        /*ranges=*/25, frac, &qrng);
+    double mean_weight = 0.0;
+    for (const auto& q : battery.queries) mean_weight += q.exact;
+    mean_weight /= battery.queries.size() * battery.data_total;
+    for (const auto& b : built) {
+      const auto r = EvaluateOnBattery(b, battery);
+      table.AddRow({Table::Num(frac), Table::Num(mean_weight), r.method,
+                    Table::Num(r.errors.mean_abs)});
+    }
+  }
+  table.Print();
+  return 0;
+}

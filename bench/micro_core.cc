@@ -1,0 +1,130 @@
+// Micro-benchmarks (google-benchmark) for the core primitives: pair
+// aggregation, streaming threshold, streaming VarOpt updates, kd-tree
+// construction, and sample query scans. These quantify the per-item costs
+// that drive the Figure 3 throughput comparisons.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "aware/kd_hierarchy.h"
+#include "aware/two_pass.h"
+#include "core/ipps.h"
+#include "core/pair_aggregate.h"
+#include "core/random.h"
+#include "sampling/stream_varopt.h"
+
+namespace sas {
+namespace {
+
+void BM_PairAggregate(benchmark::State& state) {
+  Rng rng(1);
+  double a = 0.4, b = 0.7;
+  for (auto _ : state) {
+    double x = a, y = b;
+    PairAggregate(&x, &y, &rng);
+    benchmark::DoNotOptimize(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_PairAggregate);
+
+void BM_StreamTauPush(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<Weight> weights(1 << 16);
+  for (auto& w : weights) w = rng.NextPareto(1.2);
+  std::size_t i = 0;
+  StreamTau st(static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    st.Push(weights[i++ & 0xFFFF]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamTauPush)->Arg(100)->Arg(10000);
+
+void BM_StreamVarOptPush(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<WeightedKey> items(1 << 16);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i] = {static_cast<KeyId>(i), rng.NextPareto(1.2),
+                {rng.NextBounded(1 << 20), rng.NextBounded(1 << 20)}};
+  }
+  StreamVarOpt sv(static_cast<std::size_t>(state.range(0)), Rng(4));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sv.Push(items[i++ & 0xFFFF]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamVarOptPush)->Arg(100)->Arg(10000);
+
+void BM_KdBuild(benchmark::State& state) {
+  Rng rng(5);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<Point2D> pts(n);
+  std::vector<double> mass(n, 1.0);
+  for (auto& p : pts) {
+    p = {rng.NextBounded(1 << 20), rng.NextBounded(1 << 20)};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KdHierarchy::Build(pts, mass));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KdBuild)->Arg(1000)->Arg(10000);
+
+void BM_KdLocate(benchmark::State& state) {
+  Rng rng(6);
+  const std::size_t n = 10000;
+  std::vector<Point2D> pts(n);
+  std::vector<double> mass(n, 1.0);
+  for (auto& p : pts) {
+    p = {rng.NextBounded(1 << 20), rng.NextBounded(1 << 20)};
+  }
+  const KdHierarchy tree = KdHierarchy::Build(pts, mass);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.LocateLeaf(pts[i++ % n]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KdLocate);
+
+void BM_SampleBoxScan(benchmark::State& state) {
+  Rng rng(7);
+  const std::size_t s = static_cast<std::size_t>(state.range(0));
+  std::vector<WeightedKey> entries(s);
+  for (std::size_t i = 0; i < s; ++i) {
+    entries[i] = {static_cast<KeyId>(i), rng.NextPareto(1.2),
+                  {rng.NextBounded(1 << 20), rng.NextBounded(1 << 20)}};
+  }
+  const Sample sample(1.0, std::move(entries));
+  const Box box{{0, 1 << 19}, {0, 1 << 19}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample.EstimateBox(box));
+  }
+  state.SetItemsProcessed(state.iterations() * s);
+}
+BENCHMARK(BM_SampleBoxScan)->Arg(100)->Arg(10000);
+
+void BM_TwoPassBuild(benchmark::State& state) {
+  Rng rng(8);
+  const std::size_t n = 20000;
+  std::vector<WeightedKey> items(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items[i] = {static_cast<KeyId>(i), rng.NextPareto(1.2),
+                {rng.NextBounded(1 << 20), rng.NextBounded(1 << 20)}};
+  }
+  for (auto _ : state) {
+    Rng local(state.iterations());
+    benchmark::DoNotOptimize(
+        TwoPassProductSample(items, 1000.0, TwoPassConfig{}, &local));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TwoPassBuild);
+
+}  // namespace
+}  // namespace sas
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Heavy hitters and order statistics from one structure-aware sample —
+// the higher-level applications the paper's introduction motivates
+// ("heavy hitters detection, computing order statistics over subsets").
+//
+//   $ ./heavy_hitters [pairs=40000] [s=1500]
+
+#include <cstdio>
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "aware/two_pass.h"
+#include "core/sample_queries.h"
+#include "data/network_gen.h"
+#include "summaries/exact_summary.h"
+
+int main(int argc, char** argv) {
+  using namespace sas;
+  std::size_t pairs = 40000, s = 1500;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "pairs=", 6) == 0) pairs = std::atol(argv[i] + 6);
+    if (std::strncmp(argv[i], "s=", 2) == 0) s = std::atol(argv[i] + 2);
+  }
+
+  NetworkConfig cfg;
+  cfg.num_pairs = pairs;
+  cfg.num_sources = pairs / 5;
+  cfg.num_dests = pairs / 6;
+  cfg.bits = 24;
+  const Dataset2D ds = GenerateNetwork(cfg);
+  const Weight total = ds.total_weight();
+  std::printf("flow table: %zu pairs, total %.1f\n", ds.items.size(), total);
+
+  Rng rng(5);
+  const Sample sample = TwoPassProductSample(
+      ds.items, static_cast<double>(s), TwoPassConfig{}, &rng);
+  std::printf("sample: %zu keys\n\n", sample.size());
+
+  // Heavy flows: every key above the threshold is a certain inclusion, so
+  // nothing heavy is missed.
+  const double phi = 0.002;
+  const auto hitters = EstimateHeavyHitters(sample, phi);
+  std::printf("flows with >= %.1f%% of total traffic (top 5 shown):\n",
+              100 * phi);
+  int shown = 0;
+  for (const auto& h : hitters) {
+    if (shown++ == 5) break;
+    // Exact weight for comparison.
+    Weight exact = 0.0;
+    for (const auto& it : ds.items) {
+      if (it.pt == h.key.pt) exact = it.weight;
+    }
+    std::printf("  src=%8llu dst=%8llu est %8.1f (%.3f%%)  exact %8.1f\n",
+                static_cast<unsigned long long>(h.key.pt.x),
+                static_cast<unsigned long long>(h.key.pt.y),
+                h.estimated_weight, 100 * h.estimated_fraction, exact);
+  }
+  std::printf("  (%zu heavy flows found)\n\n", hitters.size());
+
+  // Traffic quantiles over the source address space (where does the middle
+  // of the traffic live?), with exact values for comparison.
+  std::printf("source-address traffic quantiles (estimate vs exact):\n");
+  for (double q : {0.25, 0.5, 0.75}) {
+    const Coord est = EstimateQuantileX(sample, q);
+    // Exact quantile by scanning the data.
+    std::vector<std::pair<Coord, Weight>> by_x;
+    for (const auto& it : ds.items) by_x.push_back({it.pt.x, it.weight});
+    std::sort(by_x.begin(), by_x.end());
+    Weight run = 0.0;
+    Coord exact = 0;
+    for (const auto& [x, w] : by_x) {
+      run += w;
+      if (run >= q * total) {
+        exact = x;
+        break;
+      }
+    }
+    std::printf("  q=%.2f: est %10llu  exact %10llu  (off by %.3f%% of the "
+                "domain)\n",
+                q, static_cast<unsigned long long>(est),
+                static_cast<unsigned long long>(exact),
+                100.0 * std::fabs(static_cast<double>(est) -
+                                  static_cast<double>(exact)) /
+                    static_cast<double>(Coord{1} << cfg.bits));
+  }
+
+  // Hierarchical heavy hitters: which source /6-style prefixes carry >= 5%
+  // of traffic (ranges from the source hierarchy's depth-2 nodes).
+  std::vector<Interval> prefix_ranges;
+  const Hierarchy& hx = *ds.hx;
+  for (int v = 0; v < hx.num_nodes(); ++v) {
+    if (hx.depth(v) == 2) prefix_ranges.push_back(hx.coord_range(v));
+  }
+  const auto range_hitters =
+      EstimateRangeHeavyHittersX(sample, prefix_ranges, 0.05);
+  std::printf("\nsource prefix blocks with >= 5%% of traffic:\n");
+  for (const auto& rh : range_hitters) {
+    const Weight exact =
+        ExactBoxSum(ds.items, {rh.range, {0, ds.domain.y.size()}});
+    std::printf("  [%10llu, %10llu): est %9.1f (%.1f%%)  exact %9.1f\n",
+                static_cast<unsigned long long>(rh.range.lo),
+                static_cast<unsigned long long>(rh.range.hi),
+                rh.estimated_weight, 100 * rh.estimated_fraction, exact);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Tech-ticket drill-down scenario (Section 6.1): summarize customer-care
+// trouble tickets keyed by (trouble code, network location), then drill
+// down the trouble-code hierarchy estimating per-subtree ticket volume
+// from the sample, with exact answers for comparison.
+//
+//   $ ./ticket_explorer [pairs=50000] [s=2000]
+
+#include <cstdio>
+#include <cstring>
+
+#include "aware/two_pass.h"
+#include "data/techticket_gen.h"
+#include "summaries/exact_summary.h"
+
+int main(int argc, char** argv) {
+  using namespace sas;
+  std::size_t pairs = 50000, s = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "pairs=", 6) == 0) pairs = std::atol(argv[i] + 6);
+    if (std::strncmp(argv[i], "s=", 2) == 0) s = std::atol(argv[i] + 2);
+  }
+
+  TechTicketConfig cfg;
+  cfg.num_pairs = pairs;
+  const Dataset2D ds = GenerateTechTicket(cfg);
+  std::printf("ticket table: %zu (code, location) pairs, %.0f tickets\n",
+              ds.items.size(), ds.total_weight());
+
+  Rng rng(7);
+  const Sample sample = TwoPassProductSample(
+      ds.items, static_cast<double>(s), TwoPassConfig{}, &rng);
+  std::printf("summary: %zu keys (%.2f%% of the table)\n\n", sample.size(),
+              100.0 * sample.size() / ds.items.size());
+
+  // Drill down: at each level of the trouble-code hierarchy, estimate the
+  // ticket volume of every child of the current node and descend into the
+  // largest.
+  const Hierarchy& hx = *ds.hx;
+  int node = hx.root();
+  int level = 0;
+  while (!hx.is_leaf(node) && level < 4) {
+    std::printf("level %d: children of code-subtree [%llu, %llu):\n", level,
+                static_cast<unsigned long long>(hx.coord_range(node).lo),
+                static_cast<unsigned long long>(hx.coord_range(node).hi));
+    int best = -1;
+    Weight best_est = -1.0;
+    for (int c : hx.children(node)) {
+      const Box box{hx.coord_range(c), {0, ds.domain.y.size()}};
+      const Weight est = sample.EstimateBox(box);
+      const Weight exact = ExactBoxSum(ds.items, box);
+      std::printf("    subtree [%10llu, %10llu): est %10.0f  exact %10.0f "
+                  " (%+5.1f%%)\n",
+                  static_cast<unsigned long long>(hx.coord_range(c).lo),
+                  static_cast<unsigned long long>(hx.coord_range(c).hi), est,
+                  exact, exact > 0 ? 100.0 * (est - exact) / exact : 0.0);
+      if (est > best_est) {
+        best_est = est;
+        best = c;
+      }
+    }
+    node = best;
+    ++level;
+  }
+
+  // Cross-dimensional slice: tickets for the drilled-down code subtree
+  // in the first half of the location space.
+  const Box slice{hx.coord_range(node), {0, ds.domain.y.size() / 2}};
+  const Weight est = sample.EstimateBox(slice);
+  const Weight exact = ExactBoxSum(ds.items, slice);
+  std::printf("\nslice query (drilled code subtree x first-half locations): "
+              "est %.0f exact %.0f (%+.1f%%)\n",
+              est, exact, exact > 0 ? 100.0 * (est - exact) / exact : 0.0);
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "aware/disjoint_summarizer.h"
+
+#include <cassert>
+
+#include "core/ipps.h"
+#include "core/pair_aggregate.h"
+
+namespace sas {
+
+void DisjointAggregate(std::vector<double>* probs,
+                       const std::vector<int>& range_of, int num_ranges,
+                       Rng* rng) {
+  assert(probs->size() == range_of.size());
+  // Bucket the open entries per range.
+  std::vector<std::vector<std::size_t>> buckets(num_ranges);
+  for (std::size_t i = 0; i < probs->size(); ++i) {
+    if (!IsSet((*probs)[i])) {
+      assert(range_of[i] >= 0 && range_of[i] < num_ranges);
+      buckets[range_of[i]].push_back(i);
+    }
+  }
+  // Stage 1: aggregate inside each range; stage 2: chain the leftovers.
+  std::vector<std::size_t> leftovers;
+  for (const auto& bucket : buckets) {
+    const std::size_t l = ChainAggregate(probs, bucket, kNoEntry, rng);
+    if (l != kNoEntry) leftovers.push_back(l);
+  }
+  const std::size_t final_entry = ChainAggregate(probs, leftovers, kNoEntry, rng);
+  ResolveResidual(probs, final_entry, rng);
+}
+
+SummarizeResult DisjointSummarize(const std::vector<WeightedKey>& items,
+                                  const std::vector<int>& range_of,
+                                  int num_ranges, double s, Rng* rng) {
+  std::vector<Weight> weights;
+  weights.reserve(items.size());
+  for (const auto& it : items) weights.push_back(it.weight);
+  const double tau = SolveTau(weights, s);
+
+  SummarizeResult out;
+  out.tau = tau;
+  IppsProbabilities(weights, tau, &out.probs);
+  for (auto& q : out.probs) q = SnapProbability(q);
+
+  std::vector<double> work = out.probs;
+  DisjointAggregate(&work, range_of, num_ranges, rng);
+
+  std::vector<WeightedKey> chosen;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (work[i] == 1.0) chosen.push_back(items[i]);
+  }
+  out.sample = Sample(tau, std::move(chosen));
+  return out;
+}
+
+}  // namespace sas

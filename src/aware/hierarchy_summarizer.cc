@@ -1,0 +1,57 @@
+#include "aware/hierarchy_summarizer.h"
+
+#include <cassert>
+
+#include "core/ipps.h"
+#include "core/pair_aggregate.h"
+
+namespace sas {
+
+void HierarchyAggregate(std::vector<double>* probs, const Hierarchy& h,
+                        Rng* rng) {
+  assert(probs->size() == h.num_keys());
+  const int n = h.num_nodes();
+  // Builders guarantee parent(v) < v, so a reverse index scan is a valid
+  // bottom-up (children before parents) order.
+  std::vector<std::size_t> leftover(n, kNoEntry);
+  std::vector<std::size_t> child_entries;
+  for (int v = n - 1; v >= 0; --v) {
+    if (h.is_leaf(v)) {
+      const KeyId k = h.key_of_leaf(v);
+      leftover[v] = IsSet((*probs)[k]) ? kNoEntry : static_cast<std::size_t>(k);
+      continue;
+    }
+    child_entries.clear();
+    for (int c : h.children(v)) {
+      if (leftover[c] != kNoEntry) child_entries.push_back(leftover[c]);
+    }
+    leftover[v] = ChainAggregate(probs, child_entries, kNoEntry, rng);
+  }
+  ResolveResidual(probs, leftover[h.root()], rng);
+}
+
+SummarizeResult HierarchySummarize(const std::vector<WeightedKey>& items,
+                                   const Hierarchy& h, double s, Rng* rng) {
+  assert(items.size() == h.num_keys());
+  std::vector<Weight> weights;
+  weights.reserve(items.size());
+  for (const auto& it : items) weights.push_back(it.weight);
+  const double tau = SolveTau(weights, s);
+
+  SummarizeResult out;
+  out.tau = tau;
+  IppsProbabilities(weights, tau, &out.probs);
+  for (auto& q : out.probs) q = SnapProbability(q);
+
+  std::vector<double> work = out.probs;
+  HierarchyAggregate(&work, h, rng);
+
+  std::vector<WeightedKey> chosen;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (work[i] == 1.0) chosen.push_back(items[i]);
+  }
+  out.sample = Sample(tau, std::move(chosen));
+  return out;
+}
+
+}  // namespace sas

@@ -1,0 +1,36 @@
+// Structure-aware VarOpt sampling over hierarchies (Section 3, Figure 1).
+//
+// Pair selection follows the lowest-LCA rule, implemented bottom-up: each
+// subtree surrenders at most one open "leftover" key, and an internal node
+// chains its children's leftovers. Probability mass therefore never crosses
+// a node boundary while the node has two or more open keys, which yields
+// the optimal maximum range discrepancy Delta < 1 for every node range.
+
+#ifndef SAS_AWARE_HIERARCHY_SUMMARIZER_H_
+#define SAS_AWARE_HIERARCHY_SUMMARIZER_H_
+
+#include <vector>
+
+#include "aware/order_summarizer.h"
+#include "core/random.h"
+#include "core/sample.h"
+#include "core/types.h"
+#include "structure/hierarchy.h"
+
+namespace sas {
+
+/// Low-level: aggregates open entries of *probs (indexed by key id, one per
+/// hierarchy leaf) following the lowest-LCA rule. On return every entry is
+/// set. Entries already set (0 or 1) are untouched.
+void HierarchyAggregate(std::vector<double>* probs, const Hierarchy& h,
+                        Rng* rng);
+
+/// Draws a structure-aware VarOpt sample of (expected) size s. items[k]
+/// must be the key at hierarchy leaf leaf_of_key(k); probabilities are IPPS
+/// for the exact offline threshold.
+SummarizeResult HierarchySummarize(const std::vector<WeightedKey>& items,
+                                   const Hierarchy& h, double s, Rng* rng);
+
+}  // namespace sas
+
+#endif  // SAS_AWARE_HIERARCHY_SUMMARIZER_H_

@@ -1,0 +1,153 @@
+#include "aware/kd_hierarchy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace sas {
+
+namespace {
+
+inline Coord AxisCoord(const Point2D& p, int axis) {
+  return axis == 0 ? p.x : p.y;
+}
+
+struct BuildTask {
+  int node;
+  std::size_t begin, end;
+  int depth;
+};
+
+}  // namespace
+
+KdHierarchy KdHierarchy::Build(const std::vector<Point2D>& pts,
+                               const std::vector<double>& mass) {
+  assert(pts.size() == mass.size());
+  KdHierarchy tree;
+  const std::size_t n = pts.size();
+  if (n == 0) return tree;
+  tree.item_order_.resize(n);
+  std::iota(tree.item_order_.begin(), tree.item_order_.end(), 0);
+  tree.nodes_.reserve(2 * n);
+  tree.nodes_.push_back({});
+
+  std::vector<double> prefix;  // scratch for the weighted-median scan
+  std::vector<BuildTask> stack{{0, 0, n, 0}};
+  while (!stack.empty()) {
+    const BuildTask t = stack.back();
+    stack.pop_back();
+    auto& order = tree.item_order_;
+    Node& node = tree.nodes_[t.node];
+    node.begin = t.begin;
+    node.end = t.end;
+    double total = 0.0;
+    for (std::size_t i = t.begin; i < t.end; ++i) total += mass[order[i]];
+    node.mass = total;
+    if (t.end - t.begin <= 1) continue;  // leaf
+
+    // Choose the split axis round-robin; fall back to the other axis when
+    // all coordinates coincide on the preferred one.
+    int axis = t.depth % 2;
+    bool split_found = false;
+    std::size_t split_pos = 0;
+    Coord split_val = 0;
+    for (int attempt = 0; attempt < 2 && !split_found; ++attempt, axis ^= 1) {
+      std::sort(order.begin() + t.begin, order.begin() + t.end,
+                [&](std::size_t a, std::size_t b) {
+                  return AxisCoord(pts[a], axis) < AxisCoord(pts[b], axis);
+                });
+      if (AxisCoord(pts[order[t.begin]], axis) ==
+          AxisCoord(pts[order[t.end - 1]], axis)) {
+        continue;  // degenerate on this axis
+      }
+      // Weighted median: pick the coordinate boundary minimizing
+      // |left mass - right mass|. Only boundaries between distinct
+      // coordinates are valid split positions.
+      prefix.clear();
+      double run = 0.0;
+      double best_gap = std::numeric_limits<double>::infinity();
+      for (std::size_t i = t.begin; i + 1 < t.end; ++i) {
+        run += mass[order[i]];
+        if (AxisCoord(pts[order[i]], axis) ==
+            AxisCoord(pts[order[i + 1]], axis)) {
+          continue;  // not a coordinate boundary
+        }
+        const double gap = std::fabs(total - 2.0 * run);
+        if (gap < best_gap) {
+          best_gap = gap;
+          split_pos = i + 1;
+          split_val = AxisCoord(pts[order[i + 1]], axis);
+        }
+      }
+      split_found = split_pos > t.begin;
+    }
+    if (!split_found) {
+      // All points identical: keep them together as one leaf.
+      continue;
+    }
+    // `axis` was toggled one past the axis actually used.
+    const int used_axis = axis ^ 1;
+    const int left = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back({});
+    const int right = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back({});
+    // Re-fetch: push_back may have invalidated `node`.
+    Node& nd = tree.nodes_[t.node];
+    nd.axis = used_axis;
+    nd.split = split_val;
+    nd.left = left;
+    nd.right = right;
+    tree.nodes_[left].parent = t.node;
+    tree.nodes_[right].parent = t.node;
+    stack.push_back({right, split_pos, t.end, t.depth + 1});
+    stack.push_back({left, t.begin, split_pos, t.depth + 1});
+  }
+  return tree;
+}
+
+int KdHierarchy::LocateLeaf(const Point2D& pt) const {
+  if (nodes_.empty()) return kNull;
+  int v = 0;
+  while (!nodes_[v].IsLeaf()) {
+    const Coord c = AxisCoord(pt, nodes_[v].axis);
+    v = c < nodes_[v].split ? nodes_[v].left : nodes_[v].right;
+  }
+  return v;
+}
+
+std::vector<int> KdHierarchy::SuperLeaves(double limit) const {
+  std::vector<int> out;
+  if (nodes_.empty()) return out;
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    if (nodes_[v].mass <= limit || nodes_[v].IsLeaf()) {
+      out.push_back(v);
+      continue;
+    }
+    stack.push_back(nodes_[v].right);
+    stack.push_back(nodes_[v].left);
+  }
+  return out;
+}
+
+int KdHierarchy::MaxDepth() const {
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<int, int>> stack{{0, 0}};
+  int best = 0;
+  while (!stack.empty()) {
+    const auto [v, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    if (!nodes_[v].IsLeaf()) {
+      stack.push_back({nodes_[v].left, d + 1});
+      stack.push_back({nodes_[v].right, d + 1});
+    }
+  }
+  return best;
+}
+
+}  // namespace sas

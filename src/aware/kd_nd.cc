@@ -1,0 +1,167 @@
+#include "aware/kd_nd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/ipps.h"
+#include "core/pair_aggregate.h"
+
+namespace sas {
+
+bool BoxNContains(const BoxN& box, const Coord* pt) {
+  for (std::size_t a = 0; a < box.size(); ++a) {
+    if (!box[a].Contains(pt[a])) return false;
+  }
+  return true;
+}
+
+KdHierarchyNd KdHierarchyNd::Build(const std::vector<Coord>& coords,
+                                   int dims,
+                                   const std::vector<double>& mass) {
+  assert(dims >= 1);
+  assert(coords.size() == mass.size() * dims);
+  KdHierarchyNd tree;
+  tree.dims_ = dims;
+  const std::size_t n = mass.size();
+  if (n == 0) return tree;
+  tree.item_order_.resize(n);
+  std::iota(tree.item_order_.begin(), tree.item_order_.end(), 0);
+  tree.nodes_.reserve(2 * n);
+  tree.nodes_.push_back({});
+
+  auto axis_coord = [&](std::size_t item, int axis) {
+    return coords[item * dims + axis];
+  };
+
+  struct Task {
+    int node;
+    std::size_t begin, end;
+    int depth;
+  };
+  std::vector<Task> stack{{0, 0, n, 0}};
+  while (!stack.empty()) {
+    const Task t = stack.back();
+    stack.pop_back();
+    auto& order = tree.item_order_;
+    {
+      Node& node = tree.nodes_[t.node];
+      node.begin = t.begin;
+      node.end = t.end;
+      node.mass = 0.0;
+      for (std::size_t i = t.begin; i < t.end; ++i) {
+        node.mass += mass[order[i]];
+      }
+      if (t.end - t.begin <= 1) continue;
+    }
+
+    int axis = t.depth % dims;
+    bool split_found = false;
+    std::size_t split_pos = 0;
+    Coord split_val = 0;
+    double total = tree.nodes_[t.node].mass;
+    for (int attempt = 0; attempt < dims && !split_found;
+         ++attempt, axis = (axis + 1) % dims) {
+      std::sort(order.begin() + t.begin, order.begin() + t.end,
+                [&](std::size_t a, std::size_t b) {
+                  return axis_coord(a, axis) < axis_coord(b, axis);
+                });
+      if (axis_coord(order[t.begin], axis) ==
+          axis_coord(order[t.end - 1], axis)) {
+        continue;
+      }
+      double run = 0.0;
+      double best_gap = std::numeric_limits<double>::infinity();
+      for (std::size_t i = t.begin; i + 1 < t.end; ++i) {
+        run += mass[order[i]];
+        if (axis_coord(order[i], axis) == axis_coord(order[i + 1], axis)) {
+          continue;
+        }
+        const double gap = std::fabs(total - 2.0 * run);
+        if (gap < best_gap) {
+          best_gap = gap;
+          split_pos = i + 1;
+          split_val = axis_coord(order[i + 1], axis);
+        }
+      }
+      split_found = split_pos > t.begin;
+    }
+    if (!split_found) continue;  // all points identical: one leaf
+    const int used_axis = (axis + dims - 1) % dims;
+    const int left = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back({});
+    const int right = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back({});
+    Node& nd = tree.nodes_[t.node];
+    nd.axis = used_axis;
+    nd.split = split_val;
+    nd.left = left;
+    nd.right = right;
+    stack.push_back({right, split_pos, t.end, t.depth + 1});
+    stack.push_back({left, t.begin, split_pos, t.depth + 1});
+  }
+  return tree;
+}
+
+ResultNd ProductSummarizeNd(const std::vector<Coord>& coords, int dims,
+                            const std::vector<Weight>& weights, double s,
+                            Rng* rng) {
+  ResultNd out;
+  out.tau = SolveTau(weights, s);
+  IppsProbabilities(weights, out.tau, &out.probs);
+  for (auto& q : out.probs) q = SnapProbability(q);
+
+  // Certain inclusions go straight to the sample; the kd hierarchy is
+  // built over the open keys.
+  std::vector<std::size_t> open;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (out.probs[i] == 1.0) {
+      out.chosen.push_back(i);
+    } else if (!IsSet(out.probs[i])) {
+      open.push_back(i);
+    }
+  }
+  std::vector<Coord> sub_coords;
+  std::vector<double> sub_mass;
+  sub_coords.reserve(open.size() * dims);
+  sub_mass.reserve(open.size());
+  for (std::size_t i : open) {
+    for (int a = 0; a < dims; ++a) sub_coords.push_back(coords[i * dims + a]);
+    sub_mass.push_back(out.probs[i]);
+  }
+  const KdHierarchyNd tree = KdHierarchyNd::Build(sub_coords, dims, sub_mass);
+
+  // Bottom-up lowest-LCA aggregation (children follow parents in node
+  // order, so a reverse scan is bottom-up).
+  std::vector<double> work = sub_mass;
+  const int n = tree.num_nodes();
+  std::vector<std::size_t> leftover(std::max(n, 1), kNoEntry);
+  std::vector<std::size_t> entries;
+  for (int v = n - 1; v >= 0; --v) {
+    const auto& node = tree.nodes()[v];
+    entries.clear();
+    if (node.IsLeaf()) {
+      for (std::size_t i = node.begin; i < node.end; ++i) {
+        const std::size_t item = tree.item_order()[i];
+        if (!IsSet(work[item])) entries.push_back(item);
+      }
+    } else {
+      if (leftover[node.left] != kNoEntry) {
+        entries.push_back(leftover[node.left]);
+      }
+      if (leftover[node.right] != kNoEntry) {
+        entries.push_back(leftover[node.right]);
+      }
+    }
+    leftover[v] = ChainAggregate(&work, entries, kNoEntry, rng);
+  }
+  if (n > 0) ResolveResidual(&work, leftover[tree.root()], rng);
+  for (std::size_t j = 0; j < open.size(); ++j) {
+    if (work[j] == 1.0) out.chosen.push_back(open[j]);
+  }
+  return out;
+}
+
+}  // namespace sas

@@ -1,0 +1,75 @@
+// d-dimensional KD-HIERARCHY and product summarizer (Section 4 in full
+// generality). The evaluation datasets are 2-D (see kd_hierarchy.h /
+// product_summarizer.h, which the benches use); this module implements the
+// paper's general-d construction, whose box discrepancy is
+// O(min{p(R), 2d s^((d-1)/d)}) concentrated around s^((d-1)/(2d)).
+//
+// Points are stored flat: point i occupies coords[i*dims .. i*dims+dims).
+
+#ifndef SAS_AWARE_KD_ND_H_
+#define SAS_AWARE_KD_ND_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/random.h"
+#include "core/types.h"
+
+namespace sas {
+
+/// An axis-parallel box in d dimensions: one interval per axis.
+using BoxN = std::vector<Interval>;
+
+/// True if flat point `pt` (dims coords) lies in the box.
+bool BoxNContains(const BoxN& box, const Coord* pt);
+
+class KdHierarchyNd {
+ public:
+  static constexpr int kNull = -1;
+
+  struct Node {
+    int left = kNull;
+    int right = kNull;
+    int axis = 0;
+    Coord split = 0;
+    double mass = 0.0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    bool IsLeaf() const { return left == kNull; }
+  };
+
+  /// Builds over n = coords.size()/dims points with per-point mass,
+  /// splitting axes round-robin at weighted medians.
+  static KdHierarchyNd Build(const std::vector<Coord>& coords, int dims,
+                             const std::vector<double>& mass);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int root() const { return nodes_.empty() ? kNull : 0; }
+  int dims() const { return dims_; }
+  const std::vector<std::size_t>& item_order() const { return item_order_; }
+
+ private:
+  int dims_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> item_order_;
+};
+
+/// One weighted d-dimensional key for the general summarizer.
+struct ResultNd {
+  double tau = 0.0;
+  std::vector<double> probs;        // initial IPPS probabilities
+  std::vector<std::size_t> chosen;  // indices of sampled keys
+};
+
+/// Structure-aware VarOpt sample of (expected) size s over d-dimensional
+/// points (flat coords, one weight per point): IPPS probabilities, kd
+/// hierarchy over the open keys, bottom-up pair aggregation.
+ResultNd ProductSummarizeNd(const std::vector<Coord>& coords, int dims,
+                            const std::vector<Weight>& weights, double s,
+                            Rng* rng);
+
+}  // namespace sas
+
+#endif  // SAS_AWARE_KD_ND_H_

@@ -1,0 +1,43 @@
+#include "aware/order_summarizer.h"
+
+#include "core/ipps.h"
+#include "core/pair_aggregate.h"
+#include "structure/order.h"
+
+namespace sas {
+
+void OrderAggregate(std::vector<double>* probs,
+                    const std::vector<std::size_t>& order, Rng* rng) {
+  const std::size_t leftover = ChainAggregate(probs, order, kNoEntry, rng);
+  ResolveResidual(probs, leftover, rng);
+}
+
+SummarizeResult OrderSummarize(const std::vector<WeightedKey>& items,
+                               double s, Rng* rng) {
+  std::vector<Weight> weights;
+  weights.reserve(items.size());
+  for (const auto& it : items) weights.push_back(it.weight);
+  const double tau = SolveTau(weights, s);
+
+  SummarizeResult out;
+  out.tau = tau;
+  IppsProbabilities(weights, tau, &out.probs);
+  for (auto& q : out.probs) q = SnapProbability(q);
+
+  std::vector<Coord> xs;
+  xs.reserve(items.size());
+  for (const auto& it : items) xs.push_back(it.pt.x);
+  const std::vector<std::size_t> order = SortedOrder(xs);
+
+  std::vector<double> work = out.probs;
+  OrderAggregate(&work, order, rng);
+
+  std::vector<WeightedKey> chosen;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (work[i] == 1.0) chosen.push_back(items[i]);
+  }
+  out.sample = Sample(tau, std::move(chosen));
+  return out;
+}
+
+}  // namespace sas

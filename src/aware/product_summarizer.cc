@@ -1,0 +1,82 @@
+#include "aware/product_summarizer.h"
+
+#include <cassert>
+
+#include "core/ipps.h"
+#include "core/pair_aggregate.h"
+
+namespace sas {
+
+void KdAggregate(std::vector<double>* probs, const KdHierarchy& tree,
+                 Rng* rng) {
+  const int n = tree.num_nodes();
+  if (n == 0) return;
+  // Children are created after their parent, so a reverse scan is
+  // bottom-up.
+  std::vector<std::size_t> leftover(n, kNoEntry);
+  std::vector<std::size_t> entries;
+  for (int v = n - 1; v >= 0; --v) {
+    const auto& node = tree.nodes()[v];
+    entries.clear();
+    if (node.IsLeaf()) {
+      for (std::size_t i = node.begin; i < node.end; ++i) {
+        const std::size_t item = tree.item_order()[i];
+        if (!IsSet((*probs)[item])) entries.push_back(item);
+      }
+    } else {
+      if (leftover[node.left] != kNoEntry) {
+        entries.push_back(leftover[node.left]);
+      }
+      if (leftover[node.right] != kNoEntry) {
+        entries.push_back(leftover[node.right]);
+      }
+    }
+    leftover[v] = ChainAggregate(probs, entries, kNoEntry, rng);
+  }
+  ResolveResidual(probs, leftover[tree.root()], rng);
+}
+
+SummarizeResult ProductSummarize(const std::vector<WeightedKey>& items,
+                                 double s, Rng* rng) {
+  std::vector<Weight> weights;
+  weights.reserve(items.size());
+  for (const auto& it : items) weights.push_back(it.weight);
+  const double tau = SolveTau(weights, s);
+
+  SummarizeResult out;
+  out.tau = tau;
+  IppsProbabilities(weights, tau, &out.probs);
+  for (auto& q : out.probs) q = SnapProbability(q);
+
+  // Keys with p == 1 are always in the sample; the kd-tree is built over
+  // the open keys only, with their probabilities as mass.
+  std::vector<std::size_t> open;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!IsSet(out.probs[i])) open.push_back(i);
+  }
+  std::vector<Point2D> pts;
+  std::vector<double> mass;
+  pts.reserve(open.size());
+  mass.reserve(open.size());
+  for (std::size_t i : open) {
+    pts.push_back(items[i].pt);
+    mass.push_back(out.probs[i]);
+  }
+  const KdHierarchy tree = KdHierarchy::Build(pts, mass);
+
+  // Aggregate over local (open-subset) indices, then map back.
+  std::vector<double> work_local = mass;
+  KdAggregate(&work_local, tree, rng);
+
+  std::vector<WeightedKey> chosen;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (out.probs[i] == 1.0) chosen.push_back(items[i]);
+  }
+  for (std::size_t j = 0; j < open.size(); ++j) {
+    if (work_local[j] == 1.0) chosen.push_back(items[open[j]]);
+  }
+  out.sample = Sample(tau, std::move(chosen));
+  return out;
+}
+
+}  // namespace sas

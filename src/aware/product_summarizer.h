@@ -1,0 +1,35 @@
+// Main-memory structure-aware VarOpt sampling for product structures
+// (Section 4, general case):
+//   1. compute IPPS probabilities and set aside every key with p = 1;
+//   2. build KD-HIERARCHY over the remaining keys (mass = probability);
+//   3. aggregate bottom-up along the kd-tree (lowest-LCA rule).
+//
+// The discrepancy on an axis-parallel box R behaves like a VarOpt sample on
+// a subset of expected size mu <= min{p(R), 2d s^((d-1)/d)} (Appendix E).
+
+#ifndef SAS_AWARE_PRODUCT_SUMMARIZER_H_
+#define SAS_AWARE_PRODUCT_SUMMARIZER_H_
+
+#include <vector>
+
+#include "aware/kd_hierarchy.h"
+#include "aware/order_summarizer.h"
+#include "core/random.h"
+#include "core/types.h"
+
+namespace sas {
+
+/// Low-level: aggregates the open entries of *probs (indexed like the build
+/// items of `tree`) bottom-up along the kd-tree. On return all entries are
+/// set.
+void KdAggregate(std::vector<double>* probs, const KdHierarchy& tree,
+                 Rng* rng);
+
+/// Draws a structure-aware VarOpt sample of (expected) size s over the 2-D
+/// points of `items`.
+SummarizeResult ProductSummarize(const std::vector<WeightedKey>& items,
+                                 double s, Rng* rng);
+
+}  // namespace sas
+
+#endif  // SAS_AWARE_PRODUCT_SUMMARIZER_H_

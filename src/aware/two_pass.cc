@@ -1,0 +1,445 @@
+#include "aware/two_pass.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "core/ipps.h"
+#include "core/pair_aggregate.h"
+#include "sampling/stream_varopt.h"
+#include "structure/order.h"
+
+namespace sas {
+
+struct TwoPassProductSampler::Pass1State {
+  StreamTau tau_tracker;
+  StreamVarOpt guide;
+
+  Pass1State(double s, std::size_t sprime, Rng rng)
+      : tau_tracker(s), guide(sprime, rng) {}
+};
+
+TwoPassProductSampler::TwoPassProductSampler(double s, TwoPassConfig cfg,
+                                             Rng rng)
+    : s_(s), cfg_(cfg), rng_(rng) {
+  const auto sprime = static_cast<std::size_t>(
+      std::max(1.0, cfg_.sprime_factor * s_));
+  pass1_ = std::make_unique<Pass1State>(s_, sprime, rng_.Split());
+}
+
+TwoPassProductSampler::~TwoPassProductSampler() = default;
+
+void TwoPassProductSampler::Pass1(const WeightedKey& item) {
+  assert(!pass2_begun_);
+  pass1_->tau_tracker.Push(item.weight);
+  pass1_->guide.Push(item);
+}
+
+void TwoPassProductSampler::BeginPass2() {
+  assert(!pass2_begun_);
+  pass2_begun_ = true;
+  tau_ = pass1_->tau_tracker.tau();
+
+  // Guide keys that would not be certain inclusions define the partition:
+  // the kd-tree is built over their positions with uniform mass.
+  const Sample guide = pass1_->guide.ToSample();
+  std::vector<Point2D> pts;
+  for (const auto& k : guide.entries()) {
+    if (IppsProbability(k.weight, tau_) < 1.0) pts.push_back(k.pt);
+  }
+  pass1_.reset();  // release pass-1 memory, as a streaming system would
+
+  std::vector<double> ones(pts.size(), 1.0);
+  partition_ = KdHierarchy::Build(pts, ones);
+
+  // Dense cell ids for kd leaves; a degenerate (empty) partition gets one
+  // catch-all cell.
+  cell_of_leaf_.assign(std::max(partition_.num_nodes(), 1), -1);
+  int cells = 0;
+  for (int v = 0; v < partition_.num_nodes(); ++v) {
+    if (partition_.nodes()[v].IsLeaf()) cell_of_leaf_[v] = cells++;
+  }
+  if (cells == 0) cells = 1;
+  active_.assign(cells, {});
+}
+
+void TwoPassProductSampler::Pass2(const WeightedKey& item) {
+  assert(pass2_begun_);
+  if (item.weight <= 0.0) return;
+  double p = SnapProbability(IppsProbability(item.weight, tau_));
+  if (p == 1.0) {
+    sample_.push_back(item);  // certain inclusion
+    return;
+  }
+  if (p == 0.0) return;
+  const int leaf = partition_.LocateLeaf(item.pt);
+  const int cell = leaf == KdHierarchy::kNull ? 0 : cell_of_leaf_[leaf];
+  ActiveKey& a = active_[cell];
+  if (!a.present) {
+    a.key = item;
+    a.p = p;
+    a.present = true;
+    return;
+  }
+  // IO-AGGREGATE (Algorithm 3): aggregate the arriving key with the cell's
+  // active key; whichever becomes certain joins the sample, and the one
+  // left open (if any) stays active.
+  PairAggregate(&p, &a.p, &rng_);
+  if (a.p == 1.0) sample_.push_back(a.key);
+  if (!IsSet(a.p)) {
+    // a remains the active key with its leftover probability.
+  } else {
+    a.present = false;
+  }
+  if (p == 1.0) sample_.push_back(item);
+  if (!IsSet(p)) {
+    assert(!a.present);
+    a.key = item;
+    a.p = p;
+    a.present = true;
+  }
+}
+
+Sample TwoPassProductSampler::Finalize() {
+  assert(pass2_begun_);
+  // Gather the active keys and aggregate them bottom-up along the kd-tree
+  // (the partition *is* the hierarchy h of Section 5).
+  std::vector<WeightedKey> akeys;
+  std::vector<double> aprobs;
+  std::vector<std::size_t> entry_of_cell(active_.size(), kNoEntry);
+  for (std::size_t c = 0; c < active_.size(); ++c) {
+    if (active_[c].present) {
+      entry_of_cell[c] = akeys.size();
+      akeys.push_back(active_[c].key);
+      aprobs.push_back(active_[c].p);
+    }
+  }
+  const int n = partition_.num_nodes();
+  std::size_t root_leftover = kNoEntry;
+  if (n == 0) {
+    // Catch-all cell only.
+    if (entry_of_cell[0] != kNoEntry) root_leftover = entry_of_cell[0];
+  } else {
+    std::vector<std::size_t> leftover(n, kNoEntry);
+    std::vector<std::size_t> entries;
+    for (int v = n - 1; v >= 0; --v) {
+      const auto& node = partition_.nodes()[v];
+      entries.clear();
+      if (node.IsLeaf()) {
+        const std::size_t e = entry_of_cell[cell_of_leaf_[v]];
+        if (e != kNoEntry && !IsSet(aprobs[e])) entries.push_back(e);
+      } else {
+        if (leftover[node.left] != kNoEntry) {
+          entries.push_back(leftover[node.left]);
+        }
+        if (leftover[node.right] != kNoEntry) {
+          entries.push_back(leftover[node.right]);
+        }
+      }
+      leftover[v] = ChainAggregate(&aprobs, entries, kNoEntry, &rng_);
+    }
+    root_leftover = leftover[partition_.root()];
+  }
+  ResolveResidual(&aprobs, root_leftover, &rng_);
+  for (std::size_t e = 0; e < akeys.size(); ++e) {
+    if (aprobs[e] == 1.0) sample_.push_back(akeys[e]);
+  }
+  for (auto& slot : active_) slot.present = false;
+  return Sample(tau_, std::move(sample_));
+}
+
+Sample TwoPassProductSample(const std::vector<WeightedKey>& items, double s,
+                            const TwoPassConfig& cfg, Rng* rng) {
+  TwoPassProductSampler sampler(s, cfg, rng->Split());
+  for (const auto& it : items) sampler.Pass1(it);
+  sampler.BeginPass2();
+  for (const auto& it : items) sampler.Pass2(it);
+  return sampler.Finalize();
+}
+
+Sample TwoPassOrderSample(const std::vector<WeightedKey>& items, double s,
+                          const TwoPassConfig& cfg, Rng* rng) {
+  // Pass 1: threshold + guide sample.
+  const auto sprime =
+      static_cast<std::size_t>(std::max(1.0, cfg.sprime_factor * s));
+  StreamTau tau_tracker(s);
+  StreamVarOpt guide(sprime, rng->Split());
+  for (const auto& it : items) {
+    tau_tracker.Push(it.weight);
+    guide.Push(it);
+  }
+  const double tau = tau_tracker.tau();
+
+  // Partition: boundaries at the guide keys (excluding certain inclusions),
+  // sorted by coordinate; cell j = keys with x in (b_{j-1}, b_j].
+  std::vector<Coord> bounds;
+  const Sample guide_sample = guide.ToSample();
+  for (const auto& k : guide_sample.entries()) {
+    if (IppsProbability(k.weight, tau) < 1.0) bounds.push_back(k.pt.x);
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  const std::size_t cells = bounds.size() + 1;
+
+  struct ActiveKey {
+    WeightedKey key;
+    double p = 0.0;
+    bool present = false;
+  };
+  std::vector<ActiveKey> active(cells);
+  std::vector<WeightedKey> sample;
+  Rng local = rng->Split();
+
+  // Pass 2: IO-AGGREGATE per cell.
+  for (const auto& item : items) {
+    if (item.weight <= 0.0) continue;
+    double p = SnapProbability(IppsProbability(item.weight, tau));
+    if (p == 1.0) {
+      sample.push_back(item);
+      continue;
+    }
+    if (p == 0.0) continue;
+    const std::size_t cell =
+        std::lower_bound(bounds.begin(), bounds.end(), item.pt.x) -
+        bounds.begin();
+    ActiveKey& a = active[cell];
+    if (!a.present) {
+      a.key = item;
+      a.p = p;
+      a.present = true;
+      continue;
+    }
+    PairAggregate(&p, &a.p, &local);
+    if (a.p == 1.0) sample.push_back(a.key);
+    if (IsSet(a.p)) a.present = false;
+    if (p == 1.0) sample.push_back(item);
+    if (!IsSet(p)) {
+      a.key = item;
+      a.p = p;
+      a.present = true;
+    }
+  }
+
+  // Final aggregation: left-to-right fold over cells (the main-memory order
+  // aggregation applied to the active keys).
+  std::vector<WeightedKey> akeys;
+  std::vector<double> aprobs;
+  for (const auto& slot : active) {
+    if (slot.present) {
+      akeys.push_back(slot.key);
+      aprobs.push_back(slot.p);
+    }
+  }
+  std::vector<std::size_t> order(akeys.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const std::size_t leftover = ChainAggregate(&aprobs, order, kNoEntry, &local);
+  ResolveResidual(&aprobs, leftover, &local);
+  for (std::size_t e = 0; e < akeys.size(); ++e) {
+    if (aprobs[e] == 1.0) sample.push_back(akeys[e]);
+  }
+  return Sample(tau, std::move(sample));
+}
+
+namespace {
+
+/// IO-AGGREGATE step shared by the 1-D two-pass variants: processes one key
+/// against the active slot of its cell.
+struct CellSlot {
+  WeightedKey key;
+  double p = 0.0;
+  bool present = false;
+};
+
+void IoAggregateStep(const WeightedKey& item, double p, CellSlot* slot,
+                     std::vector<WeightedKey>* sample, Rng* rng) {
+  if (!slot->present) {
+    slot->key = item;
+    slot->p = p;
+    slot->present = true;
+    return;
+  }
+  PairAggregate(&p, &slot->p, rng);
+  if (slot->p == 1.0) sample->push_back(slot->key);
+  if (IsSet(slot->p)) slot->present = false;
+  if (p == 1.0) sample->push_back(item);
+  if (!IsSet(p)) {
+    slot->key = item;
+    slot->p = p;
+    slot->present = true;
+  }
+}
+
+}  // namespace
+
+Sample TwoPassDisjointSample(const std::vector<WeightedKey>& items,
+                             const std::vector<int>& range_of,
+                             int num_ranges, double s,
+                             const TwoPassConfig& cfg, Rng* rng) {
+  assert(items.size() == range_of.size());
+  // Pass 1.
+  const auto sprime =
+      static_cast<std::size_t>(std::max(1.0, cfg.sprime_factor * s));
+  StreamTau tau_tracker(s);
+  StreamVarOpt guide(sprime, rng->Split());
+  for (const auto& it : items) {
+    tau_tracker.Push(it.weight);
+    guide.Push(it);
+  }
+  const double tau = tau_tracker.tau();
+
+  // Partition: a dedicated cell per range represented in the guide sample,
+  // plus one cell per maximal run of unrepresented range ids (these runs
+  // carry < 1 probability mass w.h.p.).
+  std::vector<char> represented(num_ranges, 0);
+  const Sample guide_sample = guide.ToSample();
+  for (const auto& k : guide_sample.entries()) {
+    if (IppsProbability(k.weight, tau) < 1.0) {
+      represented[range_of[k.id]] = 1;
+    }
+  }
+  std::vector<int> cell_of_range(num_ranges, -1);
+  int cells = 0;
+  int current_gap_cell = -1;
+  for (int r = 0; r < num_ranges; ++r) {
+    if (represented[r]) {
+      cell_of_range[r] = cells++;
+      current_gap_cell = -1;
+    } else {
+      if (current_gap_cell < 0) current_gap_cell = cells++;
+      cell_of_range[r] = current_gap_cell;
+    }
+  }
+  if (cells == 0) cells = 1;
+
+  // Pass 2.
+  std::vector<CellSlot> active(cells);
+  std::vector<WeightedKey> sample;
+  Rng local = rng->Split();
+  for (const auto& item : items) {
+    if (item.weight <= 0.0) continue;
+    const double p = SnapProbability(IppsProbability(item.weight, tau));
+    if (p == 1.0) {
+      sample.push_back(item);
+      continue;
+    }
+    if (p == 0.0) continue;
+    const int cell = std::max(0, cell_of_range[range_of[item.id]]);
+    IoAggregateStep(item, p, &active[cell], &sample, &local);
+  }
+
+  // Final aggregation: across-cell order is arbitrary for disjoint ranges.
+  std::vector<WeightedKey> akeys;
+  std::vector<double> aprobs;
+  for (const auto& slot : active) {
+    if (slot.present) {
+      akeys.push_back(slot.key);
+      aprobs.push_back(slot.p);
+    }
+  }
+  std::vector<std::size_t> order(akeys.size());
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t leftover = ChainAggregate(&aprobs, order, kNoEntry, &local);
+  ResolveResidual(&aprobs, leftover, &local);
+  for (std::size_t e = 0; e < akeys.size(); ++e) {
+    if (aprobs[e] == 1.0) sample.push_back(akeys[e]);
+  }
+  return Sample(tau, std::move(sample));
+}
+
+Sample TwoPassHierarchySample(const std::vector<WeightedKey>& items,
+                              const Hierarchy& h, double s,
+                              const TwoPassConfig& cfg,
+                              HierarchyTwoPassVariant variant, Rng* rng) {
+  assert(items.size() == h.num_keys());
+  if (variant == HierarchyTwoPassVariant::kLinearize) {
+    // Totally order the keys by DFS rank and run the order variant; node
+    // ranges are rank intervals, so Delta < 2 w.h.p. carries over.
+    std::vector<WeightedKey> relabeled = items;
+    for (auto& it : relabeled) {
+      it.pt.x = static_cast<Coord>(h.rank_of_key(it.id));
+    }
+    return TwoPassOrderSample(relabeled, s, cfg, rng);
+  }
+
+  // Ancestor variant: select every ancestor of every guide key; each key's
+  // cell is its lowest selected ancestor. Works best for shallow
+  // hierarchies (the paper's caveat) but gives Delta < 1 w.h.p.
+  const auto sprime =
+      static_cast<std::size_t>(std::max(1.0, cfg.sprime_factor * s));
+  StreamTau tau_tracker(s);
+  StreamVarOpt guide(sprime, rng->Split());
+  for (const auto& it : items) {
+    tau_tracker.Push(it.weight);
+    guide.Push(it);
+  }
+  const double tau = tau_tracker.tau();
+
+  std::vector<char> selected(h.num_nodes(), 0);
+  const Sample guide_sample = guide.ToSample();
+  for (const auto& k : guide_sample.entries()) {
+    if (IppsProbability(k.weight, tau) >= 1.0) continue;
+    for (int v = h.leaf_of_key(k.id); v != Hierarchy::kNoParent;
+         v = h.parent(v)) {
+      if (selected[v]) break;  // ancestors above are already selected
+      selected[v] = 1;
+    }
+  }
+  selected[h.root()] = 1;  // catch-all for keys outside all guide subtrees
+
+  // Dense cell ids for selected nodes.
+  std::vector<int> cell_of_node(h.num_nodes(), -1);
+  int cells = 0;
+  for (int v = 0; v < h.num_nodes(); ++v) {
+    if (selected[v]) cell_of_node[v] = cells++;
+  }
+
+  // Pass 2: a key's cell is its lowest selected ancestor.
+  std::vector<CellSlot> active(cells);
+  std::vector<WeightedKey> sample;
+  Rng local = rng->Split();
+  for (const auto& item : items) {
+    if (item.weight <= 0.0) continue;
+    const double p = SnapProbability(IppsProbability(item.weight, tau));
+    if (p == 1.0) {
+      sample.push_back(item);
+      continue;
+    }
+    if (p == 0.0) continue;
+    int v = h.leaf_of_key(item.id);
+    while (!selected[v]) v = h.parent(v);
+    IoAggregateStep(item, p, &active[cell_of_node[v]], &sample, &local);
+  }
+
+  // Final aggregation follows the hierarchy: bottom-up, each node chains
+  // its own active key with the leftovers of its children (builders
+  // guarantee parent(v) < v, so a reverse scan is bottom-up).
+  std::vector<WeightedKey> akeys;
+  std::vector<double> aprobs;
+  std::vector<std::size_t> entry_of_cell(cells, kNoEntry);
+  for (int c = 0; c < cells; ++c) {
+    if (active[c].present) {
+      entry_of_cell[c] = akeys.size();
+      akeys.push_back(active[c].key);
+      aprobs.push_back(active[c].p);
+    }
+  }
+  std::vector<std::size_t> leftover(h.num_nodes(), kNoEntry);
+  std::vector<std::size_t> entries;
+  for (int v = h.num_nodes() - 1; v >= 0; --v) {
+    entries.clear();
+    if (selected[v] && entry_of_cell[cell_of_node[v]] != kNoEntry) {
+      entries.push_back(entry_of_cell[cell_of_node[v]]);
+    }
+    for (int c : h.children(v)) {
+      if (leftover[c] != kNoEntry) entries.push_back(leftover[c]);
+    }
+    leftover[v] = ChainAggregate(&aprobs, entries, kNoEntry, &local);
+  }
+  ResolveResidual(&aprobs, leftover[h.root()], &local);
+  for (std::size_t e = 0; e < akeys.size(); ++e) {
+    if (aprobs[e] == 1.0) sample.push_back(akeys[e]);
+  }
+  return Sample(tau, std::move(sample));
+}
+
+}  // namespace sas

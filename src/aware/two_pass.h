@@ -1,0 +1,121 @@
+// I/O-efficient structure-aware sampling (Section 5).
+//
+// Two read-only streaming passes over the (unsorted) data with memory
+// O~(s):
+//   Pass 1: compute the IPPS threshold tau_s (Algorithm 4) and draw a
+//           structure-oblivious guide sample S' of size s' = factor * s
+//           (stream VarOpt).
+//   Between passes: build a partition L of the key domain from S' such that
+//           with high probability p(L) <= 1 for every cell.
+//   Pass 2: IO-AGGREGATE (Algorithm 3) — maintain one active key per cell;
+//           pair-aggregate each arriving key with its cell's active key.
+//   Final:  aggregate the remaining active keys following the structure.
+//
+// Partitions are provided for product structures (kd-tree over S'), order
+// structures (subintervals between consecutive S' keys) and hierarchies
+// (linearization — giving Delta < 2 — per the paper's discussion).
+
+#ifndef SAS_AWARE_TWO_PASS_H_
+#define SAS_AWARE_TWO_PASS_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "aware/kd_hierarchy.h"
+#include "core/random.h"
+#include "core/sample.h"
+#include "core/types.h"
+#include "structure/hierarchy.h"
+
+namespace sas {
+
+struct TwoPassConfig {
+  /// Oversampling factor: s' = factor * s (the paper uses 5).
+  double sprime_factor = 5.0;
+};
+
+/// Streaming two-pass summarizer for 2-D product structures. Call Pass1
+/// over every item, then BeginPass2, then Pass2 over every item (any
+/// order), then Finalize. The convenience function below wraps this for
+/// in-memory vectors, iterating them like a stream.
+class TwoPassProductSampler {
+ public:
+  TwoPassProductSampler(double s, TwoPassConfig cfg, Rng rng);
+  ~TwoPassProductSampler();  // out-of-line: Pass1State is incomplete here
+
+  void Pass1(const WeightedKey& item);
+
+  /// Builds the partition from the pass-1 state. Memory O(s').
+  void BeginPass2();
+
+  void Pass2(const WeightedKey& item);
+
+  /// Aggregates the remaining active keys along the kd-tree and returns the
+  /// final sample of size (essentially) s.
+  Sample Finalize();
+
+  double tau() const { return tau_; }
+
+  /// Number of partition cells (kd leaves over the guide sample).
+  std::size_t num_cells() const { return active_.size(); }
+
+ private:
+  double s_;
+  TwoPassConfig cfg_;
+  Rng rng_;
+
+  // Pass-1 state (defined in two_pass.cc to keep this header light).
+  struct Pass1State;
+  std::unique_ptr<Pass1State> pass1_;
+
+  // Pass-2 state.
+  double tau_ = 0.0;
+  KdHierarchy partition_;
+  std::vector<int> cell_of_leaf_;  // kd node id -> cell index
+  struct ActiveKey {
+    WeightedKey key;
+    double p = 0.0;
+    bool present = false;
+  };
+  std::vector<ActiveKey> active_;  // one slot per cell
+  std::vector<WeightedKey> sample_;
+  bool pass2_begun_ = false;
+};
+
+/// Convenience wrapper: runs both passes over `items` and returns the
+/// sample together with the IPPS probabilities (for discrepancy checks).
+Sample TwoPassProductSample(const std::vector<WeightedKey>& items, double s,
+                            const TwoPassConfig& cfg, Rng* rng);
+
+/// Two-pass summarizer for order structures (1-D, ordered by pt.x): the
+/// partition consists of the intervals between consecutive guide-sample
+/// keys; final aggregation scans cells left to right (Delta < 2 w.h.p.).
+Sample TwoPassOrderSample(const std::vector<WeightedKey>& items, double s,
+                          const TwoPassConfig& cfg, Rng* rng);
+
+/// Two-pass summarizer for disjoint ranges (Section 5): one cell per range
+/// represented in the guide sample, plus one cell per maximal run of
+/// unrepresented range ids between represented ones. Delta < 1 per range
+/// w.h.p. `range_of` maps a key to its range id in [0, num_ranges).
+Sample TwoPassDisjointSample(const std::vector<WeightedKey>& items,
+                             const std::vector<int>& range_of,
+                             int num_ranges, double s,
+                             const TwoPassConfig& cfg, Rng* rng);
+
+/// Which Section 5 partition the hierarchy two-pass uses.
+enum class HierarchyTwoPassVariant {
+  kLinearize,  // totally order keys by DFS rank; Delta < 2 w.h.p.
+  kAncestors,  // cells = lowest guide-selected ancestors; Delta < 1 w.h.p.
+};
+
+/// Two-pass summarizer for hierarchies (Section 5). items[k] must be the
+/// key at hierarchy leaf leaf_of_key(k) with k == item.id.
+Sample TwoPassHierarchySample(const std::vector<WeightedKey>& items,
+                              const Hierarchy& h, double s,
+                              const TwoPassConfig& cfg,
+                              HierarchyTwoPassVariant variant, Rng* rng);
+
+}  // namespace sas
+
+#endif  // SAS_AWARE_TWO_PASS_H_

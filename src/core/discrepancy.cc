@@ -1,0 +1,56 @@
+#include "core/discrepancy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sas {
+
+double RangeDiscrepancy(const std::vector<double>& probs,
+                        const std::vector<char>& in_sample,
+                        const std::vector<KeyId>& range_members) {
+  double expected = 0.0;
+  double actual = 0.0;
+  for (KeyId id : range_members) {
+    expected += probs[id];
+    if (in_sample[id]) actual += 1.0;
+  }
+  return std::fabs(actual - expected);
+}
+
+double MaxIntervalDiscrepancy(const std::vector<double>& probs,
+                              const std::vector<char>& in_sample) {
+  // Interval [i, j) discrepancy = |(A_j - A_i) - (P_j - P_i)| where A is the
+  // running sample count and P the running probability mass. The maximum
+  // over intervals is max(D) - min(D) of the running difference D_i = A_i -
+  // P_i, computable in one pass.
+  const std::size_t n = probs.size();
+  double diff = 0.0;
+  double max_diff = 0.0;
+  double min_diff = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    diff += (in_sample[i] ? 1.0 : 0.0) - probs[i];
+    max_diff = std::max(max_diff, diff);
+    min_diff = std::min(min_diff, diff);
+  }
+  return max_diff - min_diff;
+}
+
+double MaxPrefixDiscrepancy(const std::vector<double>& probs,
+                            const std::vector<char>& in_sample) {
+  const std::size_t n = probs.size();
+  double diff = 0.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    diff += (in_sample[i] ? 1.0 : 0.0) - probs[i];
+    worst = std::max(worst, std::fabs(diff));
+  }
+  return worst;
+}
+
+std::vector<char> SampleFlags(std::size_t n, const std::vector<KeyId>& ids) {
+  std::vector<char> flags(n, 0);
+  for (KeyId id : ids) flags[id] = 1;
+  return flags;
+}
+
+}  // namespace sas

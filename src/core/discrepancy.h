@@ -1,0 +1,40 @@
+// Range discrepancy (Section 2 / Appendix A).
+//
+// The discrepancy of a sample S on a range R is | |S ∩ R| − p(R) | where
+// p(R) is the expected number of sampled keys in R under the IPPS
+// probabilities. The maximum range discrepancy Delta over a range family
+// bounds the error of range-sum queries by Delta * tau. These helpers are
+// used by the property tests and the discrepancy ablation benches.
+
+#ifndef SAS_CORE_DISCREPANCY_H_
+#define SAS_CORE_DISCREPANCY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sas {
+
+/// Discrepancy of one range, given per-key inclusion probabilities, a
+/// membership flag per key (in the sample or not), and the member keys of
+/// the range.
+double RangeDiscrepancy(const std::vector<double>& probs,
+                        const std::vector<char>& in_sample,
+                        const std::vector<KeyId>& range_members);
+
+/// Maximum discrepancy over all O(n^2) contiguous intervals of keys
+/// 0..n-1 in index order (the order structure's range family). O(n^2).
+double MaxIntervalDiscrepancy(const std::vector<double>& probs,
+                              const std::vector<char>& in_sample);
+
+/// Maximum discrepancy over all n prefixes [0, i) of keys in index order.
+double MaxPrefixDiscrepancy(const std::vector<double>& probs,
+                            const std::vector<char>& in_sample);
+
+/// Builds the in-sample flag vector for n keys from a list of sampled ids.
+std::vector<char> SampleFlags(std::size_t n, const std::vector<KeyId>& ids);
+
+}  // namespace sas
+
+#endif  // SAS_CORE_DISCREPANCY_H_

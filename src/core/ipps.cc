@@ -1,0 +1,98 @@
+#include "core/ipps.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sas {
+
+double SolveTau(const std::vector<Weight>& weights, double s) {
+  assert(s > 0.0);
+  std::vector<Weight> sorted;
+  sorted.reserve(weights.size());
+  for (Weight w : weights) {
+    assert(w >= 0.0);
+    if (w > 0.0) sorted.push_back(w);
+  }
+  const std::size_t n = sorted.size();
+  if (static_cast<double>(n) <= s) return 0.0;  // everyone has probability 1
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+
+  // Suffix sums: rest[t] = sum of sorted[t..n-1].
+  // For t keys taken with probability 1, the threshold candidate is
+  // tau(t) = rest[t] / (s - t); it is consistent iff
+  //   sorted[t-1] >= tau(t) (taken keys really have p == 1) and
+  //   sorted[t]    < tau(t) (remaining keys have p < 1).
+  std::vector<double> rest(n + 1, 0.0);
+  for (std::size_t i = n; i-- > 0;) rest[i] = rest[i + 1] + sorted[i];
+
+  const std::size_t t_max =
+      std::min(n - 1, static_cast<std::size_t>(std::floor(s)));
+  for (std::size_t t = 0; t <= t_max; ++t) {
+    const double denom = s - static_cast<double>(t);
+    if (denom <= 0.0) break;
+    const double tau = rest[t] / denom;
+    const bool upper_ok = (t == 0) || (sorted[t - 1] >= tau);
+    const bool lower_ok = sorted[t] < tau;
+    if (upper_ok && lower_ok) return tau;
+  }
+  // Numerical fallback: bisection on the monotone function
+  // f(tau) = sum_i min(1, w_i/tau) - s.
+  double lo = 0.0, hi = rest[0] / s + 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    double f = 0.0;
+    for (Weight w : sorted) f += std::min(1.0, w / mid);
+    if (f > s) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double IppsProbabilities(const std::vector<Weight>& weights, double tau,
+                         std::vector<double>* probs) {
+  probs->resize(weights.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    (*probs)[i] = IppsProbability(weights[i], tau);
+    sum += (*probs)[i];
+  }
+  return sum;
+}
+
+StreamTau::StreamTau(double s) : s_(s) { assert(s > 0.0); }
+
+void StreamTau::Push(Weight w) {
+  assert(w >= 0.0);
+  ++count_;
+  if (w <= 0.0) return;
+  if (w < tau_) {
+    light_total_ += w;
+  } else {
+    heap_.push(w);
+  }
+  // Restore the invariant tau = L / (s - |H|) with every heap element >= tau:
+  // pop heap minima into the light side while the heap is over-full or its
+  // minimum falls below the recomputed threshold.
+  for (;;) {
+    if (!heap_.empty() && static_cast<double>(heap_.size()) >= s_) {
+      light_total_ += heap_.top();
+      heap_.pop();
+      continue;
+    }
+    const double denom = s_ - static_cast<double>(heap_.size());
+    const double candidate = light_total_ / denom;
+    if (!heap_.empty() && heap_.top() < candidate) {
+      light_total_ += heap_.top();
+      heap_.pop();
+      continue;
+    }
+    tau_ = candidate;
+    break;
+  }
+}
+
+}  // namespace sas

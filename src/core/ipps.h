@@ -1,0 +1,72 @@
+// IPPS (Inclusion Probability Proportional to Size) threshold computation.
+//
+// A sampling scheme is IPPS for threshold tau when key i is included with
+// probability p_i = min{1, w_i / tau}. For a target expected sample size s,
+// tau_s solves sum_i min{1, w_i / tau_s} = s (Appendix A of the paper).
+//
+// Two implementations are provided:
+//  * SolveTau        — exact offline solver over a weight vector.
+//  * StreamTau       — Algorithm 4: one-pass streaming tracker using a heap
+//                      of at most s weights and O(s) memory.
+
+#ifndef SAS_CORE_IPPS_H_
+#define SAS_CORE_IPPS_H_
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sas {
+
+/// Inclusion probability of weight w under threshold tau. A threshold of 0
+/// means "include everything" (arises when s >= number of keys).
+inline double IppsProbability(Weight w, double tau) {
+  if (tau <= 0.0) return w > 0.0 ? 1.0 : 0.0;
+  const double p = w / tau;
+  return p >= 1.0 ? 1.0 : p;
+}
+
+/// Exact offline IPPS threshold: returns tau such that
+/// sum_i min{1, w_i/tau} == s. If s >= (number of positive weights), returns
+/// 0 (every key has probability 1). Requires s > 0 and all weights >= 0.
+double SolveTau(const std::vector<Weight>& weights, double s);
+
+/// Fills `probs` with min{1, w_i/tau}. Returns the sum of probabilities.
+double IppsProbabilities(const std::vector<Weight>& weights, double tau,
+                         std::vector<double>* probs);
+
+/// Algorithm 4 (STREAM-tau): maintains the IPPS threshold for expected
+/// sample size s over a stream of weights, with O(s) memory.
+///
+/// Invariant: H holds weights currently >= tau (at most s of them), L is the
+/// total weight of everything else, and tau = L / (s - |H|).
+class StreamTau {
+ public:
+  explicit StreamTau(double s);
+
+  /// Processes one stream weight.
+  void Push(Weight w);
+
+  /// Current threshold estimate (exact for the prefix seen so far).
+  double tau() const { return tau_; }
+
+  /// Number of weights currently held in the heap (the "heavy" candidates).
+  std::size_t heap_size() const { return heap_.size(); }
+
+  /// Total number of weights pushed.
+  std::size_t count() const { return count_; }
+
+ private:
+  double s_;
+  double tau_ = 0.0;
+  double light_total_ = 0.0;  // L in Algorithm 4
+  std::size_t count_ = 0;
+  // Min-heap of heavy weights (H in Algorithm 4).
+  std::priority_queue<Weight, std::vector<Weight>, std::greater<>> heap_;
+};
+
+}  // namespace sas
+
+#endif  // SAS_CORE_IPPS_H_

@@ -1,0 +1,69 @@
+#include "core/pair_aggregate.h"
+
+#include <cassert>
+
+namespace sas {
+
+double SnapProbability(double p) {
+  if (p <= kProbEps) return 0.0;
+  if (p >= 1.0 - kProbEps) return 1.0;
+  return p;
+}
+
+void PairAggregate(double* pi, double* pj, Rng* rng) {
+  const double a = *pi;
+  const double b = *pj;
+  assert(a > 0.0 && a < 1.0 && b > 0.0 && b < 1.0);
+  const double sum = a + b;
+  if (sum < 1.0) {
+    // Move all mass onto one of the two keys; exclude the other.
+    if (rng->NextDouble() < a / sum) {
+      *pi = SnapProbability(sum);
+      *pj = 0.0;
+    } else {
+      *pj = SnapProbability(sum);
+      *pi = 0.0;
+    }
+  } else {
+    // Include one key outright; the other keeps the leftover mass sum - 1.
+    const double leftover = SnapProbability(sum - 1.0);
+    if (rng->NextDouble() < (1.0 - b) / (2.0 - sum)) {
+      *pi = 1.0;
+      *pj = leftover;
+    } else {
+      *pi = leftover;
+      *pj = 1.0;
+    }
+  }
+}
+
+std::size_t ChainAggregate(std::vector<double>* probs,
+                           const std::vector<std::size_t>& indices,
+                           std::size_t carry, Rng* rng) {
+  auto& p = *probs;
+  std::size_t active = carry;
+  if (active != kNoEntry && IsSet(p[active])) active = kNoEntry;
+  for (std::size_t i : indices) {
+    if (IsSet(p[i])) continue;
+    if (active == kNoEntry) {
+      active = i;
+      continue;
+    }
+    PairAggregate(&p[active], &p[i], rng);
+    if (IsSet(p[active])) {
+      active = IsSet(p[i]) ? kNoEntry : i;
+    }
+    // else: active keeps the leftover mass and i was set.
+  }
+  return active;
+}
+
+void ResolveResidual(std::vector<double>* probs, std::size_t entry,
+                     Rng* rng) {
+  if (entry == kNoEntry) return;
+  auto& p = *probs;
+  if (IsSet(p[entry])) return;
+  p[entry] = rng->NextBernoulli(p[entry]) ? 1.0 : 0.0;
+}
+
+}  // namespace sas

@@ -1,0 +1,40 @@
+#include "core/prob_vector.h"
+
+#include <cassert>
+
+namespace sas {
+
+ProbVector::ProbVector(std::vector<double> probs) : p_(std::move(probs)) {
+  for (auto& v : p_) {
+    assert(v >= 0.0 && v <= 1.0);
+    v = SnapProbability(v);
+    sum_ += v;
+    if (!IsSet(v)) ++open_count_;
+  }
+}
+
+void ProbVector::Aggregate(std::size_t i, std::size_t j, Rng* rng) {
+  assert(i != j);
+  assert(!IsSetAt(i) && !IsSetAt(j));
+  PairAggregate(&p_[i], &p_[j], rng);
+  if (IsSet(p_[i])) --open_count_;
+  if (IsSet(p_[j])) --open_count_;
+}
+
+void ProbVector::ResolveResidual(std::size_t i, Rng* rng) {
+  assert(!IsSetAt(i));
+  const double q = p_[i];
+  p_[i] = rng->NextBernoulli(q) ? 1.0 : 0.0;
+  sum_ += p_[i] - q;
+  --open_count_;
+}
+
+std::vector<std::size_t> ProbVector::OnesIndices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < p_.size(); ++i) {
+    if (p_[i] == 1.0) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace sas

@@ -1,0 +1,40 @@
+#include "core/sample.h"
+
+namespace sas {
+
+Weight Sample::EstimateBox(const Box& box) const {
+  Weight total = 0.0;
+  for (const auto& k : entries_) {
+    if (box.Contains(k.pt)) total += AdjustedWeight(k);
+  }
+  return total;
+}
+
+Weight Sample::EstimateQuery(const MultiRangeQuery& q) const {
+  Weight total = 0.0;
+  for (const auto& k : entries_) {
+    for (const auto& box : q.boxes) {
+      if (box.Contains(k.pt)) {
+        total += AdjustedWeight(k);
+        break;  // rectangles are disjoint
+      }
+    }
+  }
+  return total;
+}
+
+Weight Sample::EstimateTotal() const {
+  Weight total = 0.0;
+  for (const auto& k : entries_) total += AdjustedWeight(k);
+  return total;
+}
+
+std::size_t Sample::CountInBox(const Box& box) const {
+  std::size_t c = 0;
+  for (const auto& k : entries_) {
+    if (box.Contains(k.pt)) ++c;
+  }
+  return c;
+}
+
+}  // namespace sas

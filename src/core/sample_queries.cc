@@ -1,0 +1,80 @@
+#include "core/sample_queries.h"
+
+#include <algorithm>
+
+namespace sas {
+
+namespace {
+
+Coord QuantileOver(const Sample& sample, double q,
+                   const std::function<bool(const WeightedKey&)>& pred) {
+  std::vector<const WeightedKey*> keys;
+  Weight total = 0.0;
+  for (const auto& k : sample.entries()) {
+    if (pred(k)) {
+      keys.push_back(&k);
+      total += sample.AdjustedWeight(k);
+    }
+  }
+  if (keys.empty() || total <= 0.0) return 0;
+  std::sort(keys.begin(), keys.end(),
+            [](const WeightedKey* a, const WeightedKey* b) {
+              return a->pt.x < b->pt.x;
+            });
+  const double target = std::clamp(q, 0.0, 1.0) * total;
+  Weight run = 0.0;
+  for (const WeightedKey* k : keys) {
+    run += sample.AdjustedWeight(*k);
+    if (run >= target) return k->pt.x;
+  }
+  return keys.back()->pt.x;
+}
+
+}  // namespace
+
+Coord EstimateQuantileX(const Sample& sample, double q) {
+  return QuantileOver(sample, q, [](const WeightedKey&) { return true; });
+}
+
+Coord EstimateSubsetQuantileX(
+    const Sample& sample, double q,
+    const std::function<bool(const WeightedKey&)>& pred) {
+  return QuantileOver(sample, q, pred);
+}
+
+std::vector<HeavyHitter> EstimateHeavyHitters(const Sample& sample,
+                                              double phi) {
+  const Weight total = sample.EstimateTotal();
+  std::vector<HeavyHitter> out;
+  if (total <= 0.0) return out;
+  for (const auto& k : sample.entries()) {
+    const Weight est = sample.AdjustedWeight(k);
+    if (est >= phi * total) {
+      out.push_back({k, est, est / total});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.estimated_weight > b.estimated_weight;
+            });
+  return out;
+}
+
+std::vector<RangeHeavyHitter> EstimateRangeHeavyHittersX(
+    const Sample& sample, const std::vector<Interval>& ranges, double phi) {
+  const Weight total = sample.EstimateTotal();
+  std::vector<RangeHeavyHitter> out;
+  if (total <= 0.0) return out;
+  for (const auto& r : ranges) {
+    Weight est = 0.0;
+    for (const auto& k : sample.entries()) {
+      if (r.Contains(k.pt.x)) est += sample.AdjustedWeight(k);
+    }
+    if (est >= phi * total) {
+      out.push_back({r, est, est / total});
+    }
+  }
+  return out;
+}
+
+}  // namespace sas

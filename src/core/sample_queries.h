@@ -1,0 +1,58 @@
+// Higher-level applications over samples (paper introduction: "computing
+// order statistics over subsets of the data, heavy hitters detection, ...").
+// All of these evaluate the query over the sample with Horvitz-Thompson
+// adjusted weights — no new summary structures are needed, which is exactly
+// the flexibility argument for sample-based summaries.
+
+#ifndef SAS_CORE_SAMPLE_QUERIES_H_
+#define SAS_CORE_SAMPLE_QUERIES_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/sample.h"
+#include "core/types.h"
+
+namespace sas {
+
+/// Estimated q-quantile (q in [0,1]) of the weight distribution over the
+/// x-coordinate: the smallest coordinate c such that the estimated weight
+/// of keys with x <= c is at least q times the estimated total. Returns 0
+/// for an empty sample.
+Coord EstimateQuantileX(const Sample& sample, double q);
+
+/// Quantile restricted to a subset of keys (order statistics over subsets).
+Coord EstimateSubsetQuantileX(
+    const Sample& sample, double q,
+    const std::function<bool(const WeightedKey&)>& pred);
+
+/// A detected heavy hitter: a sampled key whose estimated weight is at
+/// least `phi` times the estimated total.
+struct HeavyHitter {
+  WeightedKey key;
+  Weight estimated_weight = 0.0;
+  double estimated_fraction = 0.0;
+};
+
+/// All keys with estimated weight fraction >= phi, heaviest first. Under
+/// IPPS every key with true weight >= phi * W and weight >= tau is in the
+/// sample with certainty, so no true heavy hitter above the threshold is
+/// missed once tau <= phi * W.
+std::vector<HeavyHitter> EstimateHeavyHitters(const Sample& sample,
+                                              double phi);
+
+/// Hierarchical heavy hitters along one axis: estimated weight of each
+/// given interval (e.g. hierarchy node ranges), returning those whose
+/// estimated fraction is >= phi. Intervals are reported in input order.
+struct RangeHeavyHitter {
+  Interval range;
+  Weight estimated_weight = 0.0;
+  double estimated_fraction = 0.0;
+};
+
+std::vector<RangeHeavyHitter> EstimateRangeHeavyHittersX(
+    const Sample& sample, const std::vector<Interval>& ranges, double phi);
+
+}  // namespace sas
+
+#endif  // SAS_CORE_SAMPLE_QUERIES_H_

@@ -1,0 +1,31 @@
+#include "core/tail_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sas {
+
+double ChernoffUpper(double mu, double a) {
+  if (a <= mu) return 1.0;
+  if (mu <= 0.0) return 0.0;
+  // exp(a - mu + a * ln(mu / a)), computed in log space for stability.
+  const double log_b = (a - mu) + a * std::log(mu / a);
+  return std::min(1.0, std::exp(log_b));
+}
+
+double ChernoffLower(double mu, double a) {
+  if (a >= mu) return 1.0;
+  if (a < 0.0) return 0.0;
+  if (a == 0.0) return std::exp(-mu);
+  const double log_b = (a - mu) + a * std::log(mu / a);
+  return std::min(1.0, std::exp(log_b));
+}
+
+double EstimateTailBound(double w, double h, double tau) {
+  if (tau <= 0.0) return 0.0;  // exact summary: no deviation possible
+  if (w <= 0.0 || h <= 0.0) return 1.0;
+  const double log_b = (h - w) / tau + (h / tau) * std::log(w / h);
+  return std::min(1.0, std::exp(log_b));
+}
+
+}  // namespace sas

@@ -1,0 +1,27 @@
+// Chernoff tail bounds for Poisson and VarOpt samples (Appendix A,
+// Eqs. (2)-(4)). Both schemes satisfy these bounds; the tests use them to
+// validate empirical sample-count distributions, and the analysis sections
+// of the paper use them to translate discrepancy into estimation error.
+
+#ifndef SAS_CORE_TAIL_BOUNDS_H_
+#define SAS_CORE_TAIL_BOUNDS_H_
+
+namespace sas {
+
+/// Upper-tail bound: Pr[X >= a] <= e^{a-mu} (mu/a)^a for a >= mu
+/// (the bracketed form of Eq. (2)). Returns 1 for a <= mu.
+double ChernoffUpper(double mu, double a);
+
+/// Lower-tail bound: Pr[X <= a] <= e^{a-mu} (mu/a)^a for a <= mu
+/// (the bracketed form of Eq. (3)). Returns 1 for a >= mu. Handles a == 0
+/// (bound e^{-mu}).
+double ChernoffLower(double mu, double a);
+
+/// Eq. (4): bound on Pr[estimate <= h] / Pr[estimate >= h] for the HT
+/// estimate of a subset with true weight w under threshold tau:
+///   e^{(h - w)/tau} (w/h)^{h/tau}.
+double EstimateTailBound(double w, double h, double tau);
+
+}  // namespace sas
+
+#endif  // SAS_CORE_TAIL_BOUNDS_H_

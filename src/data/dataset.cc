@@ -1,0 +1,18 @@
+#include "data/dataset.h"
+
+namespace sas {
+
+Weight Dataset2D::total_weight() const {
+  Weight total = 0.0;
+  for (const auto& it : items) total += it.weight;
+  return total;
+}
+
+std::vector<Weight> Dataset2D::Weights() const {
+  std::vector<Weight> out;
+  out.reserve(items.size());
+  for (const auto& it : items) out.push_back(it.weight);
+  return out;
+}
+
+}  // namespace sas

@@ -1,0 +1,126 @@
+#include "data/query_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "summaries/exact_summary.h"
+
+namespace sas {
+
+WeightPartition::WeightPartition(const std::vector<WeightedKey>& items,
+                                 const ProductDomain2D& domain) {
+  std::vector<Point2D> pts;
+  std::vector<double> mass;
+  pts.reserve(items.size());
+  mass.reserve(items.size());
+  for (const auto& it : items) {
+    pts.push_back(it.pt);
+    mass.push_back(it.weight);
+  }
+  tree_ = KdHierarchy::Build(pts, mass);
+
+  // Boxes and depths top-down; children follow parents in node order.
+  const int n = tree_.num_nodes();
+  node_box_.assign(std::max(n, 1), domain.FullBox());
+  node_depth_.assign(std::max(n, 1), 0);
+  for (int v = 0; v < n; ++v) {
+    const auto& node = tree_.nodes()[v];
+    if (node.IsLeaf()) {
+      max_depth_ = std::max(max_depth_, node_depth_[v]);
+      continue;
+    }
+    Box left = node_box_[v];
+    Box right = node_box_[v];
+    if (node.axis == 0) {
+      left.x.hi = node.split;
+      right.x.lo = node.split;
+    } else {
+      left.y.hi = node.split;
+      right.y.lo = node.split;
+    }
+    node_box_[node.left] = left;
+    node_box_[node.right] = right;
+    node_depth_[node.left] = node_depth_[v] + 1;
+    node_depth_[node.right] = node_depth_[v] + 1;
+  }
+}
+
+std::vector<Box> WeightPartition::CellsAtDepth(int depth) const {
+  std::vector<Box> out;
+  for (int v = 0; v < tree_.num_nodes(); ++v) {
+    const bool at_depth = node_depth_[v] == depth;
+    const bool shallow_leaf =
+        tree_.nodes()[v].IsLeaf() && node_depth_[v] < depth;
+    if (at_depth || shallow_leaf) out.push_back(node_box_[v]);
+  }
+  return out;
+}
+
+QueryBattery UniformAreaQueries(const std::vector<WeightedKey>& items,
+                                const ProductDomain2D& domain,
+                                int num_queries, int ranges, double max_frac,
+                                Rng* rng) {
+  QueryBattery battery;
+  battery.data_total = TotalWeight(items);
+  const double dx = static_cast<double>(domain.x.size());
+  const double dy = static_cast<double>(domain.y.size());
+  for (int q = 0; q < num_queries; ++q) {
+    MultiRangeQuery query;
+    int attempts = 0;
+    double frac = max_frac;
+    while (static_cast<int>(query.boxes.size()) < ranges) {
+      if (++attempts > 200) {
+        // Crowded: shrink the rectangles and keep trying.
+        frac *= 0.5;
+        attempts = 0;
+        if (frac < 1e-9) break;
+      }
+      const double w = rng->NextDouble() * frac * dx;
+      const double h = rng->NextDouble() * frac * dy;
+      const Coord wi = std::max<Coord>(1, static_cast<Coord>(w));
+      const Coord hi = std::max<Coord>(1, static_cast<Coord>(h));
+      const Coord x0 = rng->NextBounded(domain.x.size() - wi + 1);
+      const Coord y0 = rng->NextBounded(domain.y.size() - hi + 1);
+      const Box box{{x0, x0 + wi}, {y0, y0 + hi}};
+      bool overlaps = false;
+      for (const auto& other : query.boxes) {
+        if (BoxesIntersect(box, other)) {
+          overlaps = true;
+          break;
+        }
+      }
+      if (!overlaps) query.boxes.push_back(box);
+    }
+    query.exact = ExactQuerySum(items, query);
+    battery.queries.push_back(std::move(query));
+  }
+  return battery;
+}
+
+QueryBattery UniformWeightQueries(const std::vector<WeightedKey>& items,
+                                  const WeightPartition& partition,
+                                  int num_queries, int ranges, int depth,
+                                  Rng* rng) {
+  QueryBattery battery;
+  battery.data_total = TotalWeight(items);
+  const std::vector<Box> cells = partition.CellsAtDepth(depth);
+  assert(!cells.empty());
+  for (int q = 0; q < num_queries; ++q) {
+    MultiRangeQuery query;
+    // Draw `ranges` distinct cells (or all of them if fewer exist).
+    const int take = std::min<int>(ranges, static_cast<int>(cells.size()));
+    std::vector<std::size_t> picked;
+    while (static_cast<int>(picked.size()) < take) {
+      const std::size_t c = rng->NextBounded(cells.size());
+      if (std::find(picked.begin(), picked.end(), c) == picked.end()) {
+        picked.push_back(c);
+      }
+    }
+    for (std::size_t c : picked) query.boxes.push_back(cells[c]);
+    query.exact = ExactQuerySum(items, query);
+    battery.queries.push_back(std::move(query));
+  }
+  return battery;
+}
+
+}  // namespace sas

@@ -1,0 +1,71 @@
+// Query workloads (Section 6.1): every query is a collection of
+// non-overlapping rectangles in the 2-D data space.
+//
+//  * Uniform-area queries: each rectangle is placed uniformly at random with
+//    width/height uniform in [0, max_frac * domain]; rectangles within a
+//    query are kept disjoint by rejection.
+//  * Uniform-weight queries: a kd-tree is built over the *full* data (this
+//    is workload machinery, independent of any kd-tree used by the sampling
+//    methods); the cells at one level split the weight approximately
+//    equally, and a query unions `ranges` random cells from that level.
+//
+// Exact answers are computed against the full data and stored with each
+// query.
+
+#ifndef SAS_DATA_QUERY_GEN_H_
+#define SAS_DATA_QUERY_GEN_H_
+
+#include <vector>
+
+#include "aware/kd_hierarchy.h"
+#include "core/random.h"
+#include "core/types.h"
+#include "structure/product.h"
+
+namespace sas {
+
+struct QueryBattery {
+  std::vector<MultiRangeQuery> queries;
+  Weight data_total = 0.0;  // total data weight (error normalizer)
+};
+
+/// Equal-weight cell machinery for uniform-weight queries: the kd-tree over
+/// the full data plus the bounding box of every node. Build once per
+/// dataset and reuse across batteries.
+class WeightPartition {
+ public:
+  WeightPartition(const std::vector<WeightedKey>& items,
+                  const ProductDomain2D& domain);
+
+  /// All node boxes at tree depth `depth` (cells of weight ~ W / 2^depth).
+  /// Leaves shallower than `depth` are included, so the boxes always cover
+  /// all data.
+  std::vector<Box> CellsAtDepth(int depth) const;
+
+  int max_depth() const { return max_depth_; }
+  const KdHierarchy& tree() const { return tree_; }
+
+ private:
+  KdHierarchy tree_;
+  std::vector<Box> node_box_;
+  std::vector<int> node_depth_;
+  int max_depth_ = 0;
+};
+
+/// Battery of `num_queries` uniform-area queries with `ranges` disjoint
+/// rectangles each; rectangle sides are uniform in [0, max_frac * domain].
+QueryBattery UniformAreaQueries(const std::vector<WeightedKey>& items,
+                                const ProductDomain2D& domain,
+                                int num_queries, int ranges, double max_frac,
+                                Rng* rng);
+
+/// Battery of uniform-weight queries: each query unions `ranges` distinct
+/// cells at `depth` of the weight partition (each cell ~ W / 2^depth).
+QueryBattery UniformWeightQueries(const std::vector<WeightedKey>& items,
+                                  const WeightPartition& partition,
+                                  int num_queries, int ranges, int depth,
+                                  Rng* rng);
+
+}  // namespace sas
+
+#endif  // SAS_DATA_QUERY_GEN_H_

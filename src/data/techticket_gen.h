@@ -1,0 +1,33 @@
+// Synthetic Technical Ticket dataset (Section 6.1 substitution; see
+// DESIGN.md).
+//
+// Keys are (trouble code, network location) pairs. Both attributes are
+// hierarchies with varying branching factor over 2^bits domains; leaf
+// coordinates are spread over the domain in DFS order. Pair popularity has
+// a heavy head (many high-weight keys that every sample must include — the
+// property the paper calls out in Section 6.4).
+
+#ifndef SAS_DATA_TECHTICKET_GEN_H_
+#define SAS_DATA_TECHTICKET_GEN_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace sas {
+
+struct TechTicketConfig {
+  std::size_t num_codes = 4800;        // distinct trouble codes
+  std::size_t num_locations = 80000;   // distinct network locations
+  std::size_t num_pairs = 500000;      // observed combinations
+  int bits = 24;                       // per-axis domain = 2^bits
+  int max_branching = 8;               // hierarchy fan-out bound
+  double zipf_theta = 1.1;             // popularity skew (heavy head)
+  std::uint64_t seed = 7;
+};
+
+Dataset2D GenerateTechTicket(const TechTicketConfig& cfg);
+
+}  // namespace sas
+
+#endif  // SAS_DATA_TECHTICKET_GEN_H_

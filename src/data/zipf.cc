@@ -1,0 +1,32 @@
+#include "data/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sas {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double theta) {
+  assert(n >= 1);
+  cdf_.resize(n);
+  double run = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    run += std::pow(static_cast<double>(r + 1), -theta);
+    cdf_[r] = run;
+  }
+  for (auto& c : cdf_) c /= run;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  return std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin();
+}
+
+std::vector<Weight> ParetoWeights(std::size_t n, double alpha, Rng* rng) {
+  std::vector<Weight> out(n);
+  for (auto& w : out) w = rng->NextPareto(alpha);
+  return out;
+}
+
+}  // namespace sas

@@ -1,0 +1,36 @@
+// Heavy-tailed distributions for synthetic workloads: a bounded discrete
+// Zipf sampler (popularity ranks) built on an explicit CDF, plus Pareto
+// weight generation helpers.
+
+#ifndef SAS_DATA_ZIPF_H_
+#define SAS_DATA_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/random.h"
+#include "core/types.h"
+
+namespace sas {
+
+/// Discrete Zipf over ranks 0..n-1: Pr[rank r] proportional to
+/// (r+1)^(-theta).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double theta);
+
+  std::size_t Sample(Rng* rng) const;
+
+  std::size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// n independent Pareto(alpha) weights (scale 1), the flow-size model of
+/// the Network dataset.
+std::vector<Weight> ParetoWeights(std::size_t n, double alpha, Rng* rng);
+
+}  // namespace sas
+
+#endif  // SAS_DATA_ZIPF_H_

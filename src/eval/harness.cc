@@ -1,0 +1,85 @@
+#include "eval/harness.h"
+
+#include "aware/two_pass.h"
+#include "core/random.h"
+#include "sampling/stream_varopt.h"
+
+namespace sas {
+
+std::vector<BuiltSummary> BuildMethods(const Dataset2D& ds, std::size_t s,
+                                       const MethodSet& methods,
+                                       std::uint64_t seed) {
+  std::vector<BuiltSummary> out;
+  Rng rng(seed);
+
+  if (methods.aware) {
+    Stopwatch sw;
+    Rng local = rng.Split();
+    Sample sample = TwoPassProductSample(ds.items, static_cast<double>(s),
+                                         TwoPassConfig{}, &local);
+    BuiltSummary b;
+    b.build_seconds = sw.Seconds();
+    b.summary = std::make_unique<SampleSummary>("aware", std::move(sample));
+    out.push_back(std::move(b));
+  }
+  if (methods.obliv) {
+    Stopwatch sw;
+    StreamVarOpt sketch(s, rng.Split());
+    for (const auto& it : ds.items) sketch.Push(it);
+    BuiltSummary b;
+    b.build_seconds = sw.Seconds();
+    b.summary =
+        std::make_unique<SampleSummary>("obliv", sketch.ToSample());
+    out.push_back(std::move(b));
+  }
+  if (methods.wavelet) {
+    Stopwatch sw;
+    Wavelet2D wavelet(ds.items, s, ds.domain.x.bits, ds.domain.y.bits);
+    BuiltSummary b;
+    b.build_seconds = sw.Seconds();
+    b.summary = std::make_unique<WaveletSummary>(std::move(wavelet));
+    out.push_back(std::move(b));
+  }
+  if (methods.qdigest) {
+    Stopwatch sw;
+    QDigest2D digest(ds.items, static_cast<double>(s), ds.domain.x.bits,
+                     ds.domain.y.bits);
+    BuiltSummary b;
+    b.build_seconds = sw.Seconds();
+    b.summary = std::make_unique<QDigest2DSummary>(std::move(digest));
+    out.push_back(std::move(b));
+  }
+  if (methods.sketch) {
+    Stopwatch sw;
+    DyadicSketch sketch(ds.domain.x.bits, ds.domain.y.bits, s,
+                        /*rows=*/3, rng.Next());
+    for (const auto& it : ds.items) sketch.Update(it.pt, it.weight);
+    BuiltSummary b;
+    b.build_seconds = sw.Seconds();
+    b.summary = std::make_unique<DyadicSketchSummary>(std::move(sketch));
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+BatteryResult EvaluateOnBattery(const BuiltSummary& built,
+                                const QueryBattery& battery) {
+  BatteryResult result;
+  result.method = built.summary->Name();
+  result.size_elements = built.summary->SizeInElements();
+  result.build_seconds = built.build_seconds;
+
+  std::vector<Weight> estimates, exacts;
+  estimates.reserve(battery.queries.size());
+  exacts.reserve(battery.queries.size());
+  Stopwatch sw;
+  for (const auto& q : battery.queries) {
+    estimates.push_back(built.summary->EstimateQuery(q));
+  }
+  result.query_seconds = sw.Seconds();
+  for (const auto& q : battery.queries) exacts.push_back(q.exact);
+  result.errors = ComputeErrors(estimates, exacts, battery.data_total);
+  return result;
+}
+
+}  // namespace sas

@@ -1,0 +1,72 @@
+// Experiment harness: builds each summary method at a target size over a
+// dataset (with wall-clock timing) and evaluates it on query batteries.
+// Every per-figure bench binary is a thin driver over these helpers.
+
+#ifndef SAS_EVAL_HARNESS_H_
+#define SAS_EVAL_HARNESS_H_
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/query_gen.h"
+#include "eval/metrics.h"
+#include "eval/summary_iface.h"
+
+namespace sas {
+
+/// Simple wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A summary plus how long it took to build.
+struct BuiltSummary {
+  std::unique_ptr<RangeSummary> summary;
+  double build_seconds = 0.0;
+};
+
+/// Which methods to build (sketch is off by default in accuracy figures,
+/// matching the paper which drops it as "off the scale").
+struct MethodSet {
+  bool aware = true;
+  bool obliv = true;
+  bool wavelet = true;
+  bool qdigest = true;
+  bool sketch = false;
+};
+
+/// Builds all enabled methods at summary size `s` over the dataset.
+/// The aware method is the two-pass product sampler (the configuration the
+/// paper evaluates); obliv is streaming VarOpt.
+std::vector<BuiltSummary> BuildMethods(const Dataset2D& ds, std::size_t s,
+                                       const MethodSet& methods,
+                                       std::uint64_t seed);
+
+/// Evaluates one summary over a battery; also reports query time.
+struct BatteryResult {
+  std::string method;
+  std::size_t size_elements = 0;
+  ErrorStats errors;
+  double build_seconds = 0.0;
+  double query_seconds = 0.0;
+};
+
+BatteryResult EvaluateOnBattery(const BuiltSummary& built,
+                                const QueryBattery& battery);
+
+}  // namespace sas
+
+#endif  // SAS_EVAL_HARNESS_H_

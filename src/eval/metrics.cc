@@ -1,0 +1,29 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sas {
+
+ErrorStats ComputeErrors(const std::vector<Weight>& estimates,
+                         const std::vector<Weight>& exacts,
+                         Weight data_total) {
+  assert(estimates.size() == exacts.size());
+  ErrorStats stats;
+  stats.count = estimates.size();
+  if (stats.count == 0 || data_total <= 0.0) return stats;
+  for (std::size_t i = 0; i < estimates.size(); ++i) {
+    const double abs_err = std::fabs(estimates[i] - exacts[i]);
+    const double norm = abs_err / data_total;
+    stats.mean_abs += norm;
+    stats.sum_squared += norm * norm;
+    stats.max_abs = std::max(stats.max_abs, norm);
+    stats.mean_rel += abs_err / std::max(exacts[i], 1e-12);
+  }
+  stats.mean_abs /= static_cast<double>(stats.count);
+  stats.mean_rel /= static_cast<double>(stats.count);
+  return stats;
+}
+
+}  // namespace sas

@@ -1,0 +1,30 @@
+// Error metrics of the evaluation section: absolute error normalized by
+// the total data weight (the paper's y-axis), plus sum-squared and relative
+// error aggregates over a query battery.
+
+#ifndef SAS_EVAL_METRICS_H_
+#define SAS_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sas {
+
+struct ErrorStats {
+  double mean_abs = 0.0;     // mean |est - exact| / data_total
+  double mean_rel = 0.0;     // mean |est - exact| / max(exact, eps)
+  double sum_squared = 0.0;  // sum of squared normalized errors
+  double max_abs = 0.0;      // worst normalized absolute error
+  std::size_t count = 0;
+};
+
+/// Aggregates errors over aligned vectors of estimates and exact answers.
+ErrorStats ComputeErrors(const std::vector<Weight>& estimates,
+                         const std::vector<Weight>& exacts,
+                         Weight data_total);
+
+}  // namespace sas
+
+#endif  // SAS_EVAL_METRICS_H_

@@ -1,0 +1,94 @@
+// Common interface over all summary types so the evaluation harness and
+// the per-figure benches can treat them uniformly, plus thin adapters.
+
+#ifndef SAS_EVAL_SUMMARY_IFACE_H_
+#define SAS_EVAL_SUMMARY_IFACE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/sample.h"
+#include "core/types.h"
+#include "summaries/dyadic_sketch.h"
+#include "summaries/qdigest2d.h"
+#include "summaries/wavelet2d.h"
+
+namespace sas {
+
+class RangeSummary {
+ public:
+  virtual ~RangeSummary() = default;
+
+  /// Estimated total weight of a multi-rectangle query.
+  virtual Weight EstimateQuery(const MultiRangeQuery& q) const = 0;
+
+  /// Size in "elements of the original data" (paper's space accounting).
+  virtual std::size_t SizeInElements() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+class SampleSummary : public RangeSummary {
+ public:
+  SampleSummary(std::string name, Sample sample)
+      : name_(std::move(name)), sample_(std::move(sample)) {}
+
+  Weight EstimateQuery(const MultiRangeQuery& q) const override {
+    return sample_.EstimateQuery(q);
+  }
+  std::size_t SizeInElements() const override { return sample_.size(); }
+  std::string Name() const override { return name_; }
+  const Sample& sample() const { return sample_; }
+
+ private:
+  std::string name_;
+  Sample sample_;
+};
+
+class WaveletSummary : public RangeSummary {
+ public:
+  explicit WaveletSummary(Wavelet2D wavelet) : wavelet_(std::move(wavelet)) {}
+
+  Weight EstimateQuery(const MultiRangeQuery& q) const override {
+    return wavelet_.EstimateQuery(q);
+  }
+  std::size_t SizeInElements() const override { return wavelet_.size(); }
+  std::string Name() const override { return "wavelet"; }
+
+ private:
+  Wavelet2D wavelet_;
+};
+
+class QDigest2DSummary : public RangeSummary {
+ public:
+  explicit QDigest2DSummary(QDigest2D digest) : digest_(std::move(digest)) {}
+
+  Weight EstimateQuery(const MultiRangeQuery& q) const override {
+    return digest_.EstimateQuery(q);
+  }
+  std::size_t SizeInElements() const override { return digest_.size(); }
+  std::string Name() const override { return "qdigest"; }
+
+ private:
+  QDigest2D digest_;
+};
+
+class DyadicSketchSummary : public RangeSummary {
+ public:
+  explicit DyadicSketchSummary(DyadicSketch sketch)
+      : sketch_(std::move(sketch)) {}
+
+  Weight EstimateQuery(const MultiRangeQuery& q) const override {
+    return sketch_.EstimateQuery(q);
+  }
+  std::size_t SizeInElements() const override { return sketch_.size(); }
+  std::string Name() const override { return "sketch"; }
+
+ private:
+  DyadicSketch sketch_;
+};
+
+}  // namespace sas
+
+#endif  // SAS_EVAL_SUMMARY_IFACE_H_

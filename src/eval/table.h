@@ -1,0 +1,34 @@
+// Aligned-column table printing for the bench binaries: every figure bench
+// emits the same rows/series the paper plots, in a form that is easy to
+// read and to grep into a plotting tool.
+
+#ifndef SAS_EVAL_TABLE_H_
+#define SAS_EVAL_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sas {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with aligned columns to stdout.
+  void Print() const;
+
+  /// Formats a double compactly (scientific for small magnitudes).
+  static std::string Num(double v);
+  static std::string Int(std::size_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sas
+
+#endif  // SAS_EVAL_TABLE_H_

@@ -1,0 +1,23 @@
+#include "sampling/poisson.h"
+
+#include "core/ipps.h"
+
+namespace sas {
+
+Sample PoissonSample(const std::vector<WeightedKey>& items, double s,
+                     Rng* rng) {
+  std::vector<Weight> weights;
+  weights.reserve(items.size());
+  for (const auto& it : items) weights.push_back(it.weight);
+  const double tau = SolveTau(weights, s);
+
+  std::vector<WeightedKey> chosen;
+  for (const auto& it : items) {
+    if (rng->NextBernoulli(IppsProbability(it.weight, tau))) {
+      chosen.push_back(it);
+    }
+  }
+  return Sample(tau, std::move(chosen));
+}
+
+}  // namespace sas

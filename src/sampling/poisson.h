@@ -1,0 +1,22 @@
+// Poisson IPPS sampling (Appendix A): every key is included independently
+// with probability min{1, w_i / tau_s}. Expected sample size s, but the
+// actual size varies — the baseline that VarOpt improves on.
+
+#ifndef SAS_SAMPLING_POISSON_H_
+#define SAS_SAMPLING_POISSON_H_
+
+#include <vector>
+
+#include "core/random.h"
+#include "core/sample.h"
+#include "core/types.h"
+
+namespace sas {
+
+/// Draws a Poisson IPPS sample of expected size s from `items`.
+Sample PoissonSample(const std::vector<WeightedKey>& items, double s,
+                     Rng* rng);
+
+}  // namespace sas
+
+#endif  // SAS_SAMPLING_POISSON_H_

@@ -1,0 +1,63 @@
+// One-pass streaming VarOpt_s sampling (Cohen, Duffield, Kaplan, Lund,
+// Thorup, SODA 2009 — the algorithm behind Apache DataSketches' VarOpt
+// sketch). This is the "Obliv" method of the paper's evaluation and the
+// first-pass guide sample of the I/O-efficient constructions (Section 5).
+//
+// State: a min-heap H of "heavy" items kept with their exact weights
+// (w > tau) and a pool L of "light" items that all share the adjusted
+// weight tau. The invariant is tau = (total weight of every stream item
+// that is not currently heavy) / |L|; processing an item costs amortized
+// O(log s).
+
+#ifndef SAS_SAMPLING_STREAM_VAROPT_H_
+#define SAS_SAMPLING_STREAM_VAROPT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/random.h"
+#include "core/sample.h"
+#include "core/types.h"
+
+namespace sas {
+
+class StreamVarOpt {
+ public:
+  /// Reservoir capacity s >= 1.
+  StreamVarOpt(std::size_t s, Rng rng);
+
+  /// Processes one stream item. Items with weight <= 0 are ignored.
+  void Push(const WeightedKey& item);
+
+  /// Current threshold (0 while fewer than s items have been seen).
+  double tau() const { return tau_; }
+
+  /// Number of items currently retained (== min(s, items seen)).
+  std::size_t size() const { return heavy_.size() + light_.size(); }
+
+  std::size_t items_seen() const { return seen_; }
+
+  /// Extracts the sample (threshold + retained items). The sketch remains
+  /// usable afterwards.
+  Sample ToSample() const;
+
+ private:
+  /// Restores the heap property after appending to heavy_.
+  void HeavyPush(const WeightedKey& item);
+  WeightedKey HeavyPopMin();
+
+  std::size_t s_;
+  Rng rng_;
+  double tau_ = 0.0;
+  // Total original weight of all stream items not currently heavy
+  // (including items already evicted from the reservoir).
+  double light_mass_ = 0.0;
+  std::size_t seen_ = 0;
+  std::vector<WeightedKey> heavy_;  // min-heap by weight
+  std::vector<WeightedKey> light_;  // uniform pool, adjusted weight tau_
+  std::vector<WeightedKey> popped_scratch_;
+};
+
+}  // namespace sas
+
+#endif  // SAS_SAMPLING_STREAM_VAROPT_H_

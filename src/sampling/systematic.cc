@@ -1,0 +1,40 @@
+#include "sampling/systematic.h"
+
+#include <algorithm>
+
+#include "core/ipps.h"
+#include "structure/order.h"
+
+namespace sas {
+
+Sample SystematicSample(const std::vector<WeightedKey>& items, double s,
+                        Rng* rng) {
+  std::vector<Weight> weights;
+  weights.reserve(items.size());
+  for (const auto& it : items) weights.push_back(it.weight);
+  const double tau = SolveTau(weights, s);
+
+  std::vector<Coord> xs;
+  xs.reserve(items.size());
+  for (const auto& it : items) xs.push_back(it.pt.x);
+  const std::vector<std::size_t> order = SortedOrder(xs);
+
+  const double alpha = rng->NextDouble();
+  std::vector<WeightedKey> chosen;
+  double cum = 0.0;
+  double next_tick = alpha;
+  for (std::size_t idx : order) {
+    const double p = IppsProbability(items[idx].weight, tau);
+    const double hi = cum + p;
+    // Include the key once per tick inside (cum, hi]; IPPS probabilities are
+    // at most 1 so at most one tick can fall inside.
+    if (next_tick > cum - 1e-15 && next_tick <= hi) {
+      chosen.push_back(items[idx]);
+      next_tick += 1.0;
+    }
+    cum = hi;
+  }
+  return Sample(tau, std::move(chosen));
+}
+
+}  // namespace sas

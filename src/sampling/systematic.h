@@ -1,0 +1,30 @@
+// Systematic sampling on an ordered domain (Appendix D).
+//
+// Associate key i (in sorted order) with the interval
+// H_i = (sum_{j<i} p_j, sum_{j<=i} p_j] on the positive axis; draw a single
+// uniform offset alpha in [0,1) and include every key whose interval
+// contains h + alpha for some integer h. The result has maximum interval
+// discrepancy Delta < 1 and satisfies the VarOpt conditions (i) and (ii)
+// but *not* (iii): positive correlations make some subset-sum estimates
+// high-variance and break Chernoff bounds — the trade-off the paper's
+// Appendix D discusses against the Delta < 2 VarOpt order summarizer.
+
+#ifndef SAS_SAMPLING_SYSTEMATIC_H_
+#define SAS_SAMPLING_SYSTEMATIC_H_
+
+#include <vector>
+
+#include "core/random.h"
+#include "core/sample.h"
+#include "core/types.h"
+
+namespace sas {
+
+/// Draws a systematic IPPS sample of expected size s. Keys are processed in
+/// increasing x-coordinate order (the linear order of the structure).
+Sample SystematicSample(const std::vector<WeightedKey>& items, double s,
+                        Rng* rng);
+
+}  // namespace sas
+
+#endif  // SAS_SAMPLING_SYSTEMATIC_H_

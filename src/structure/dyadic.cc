@@ -1,0 +1,36 @@
+#include "structure/dyadic.h"
+
+#include <bit>
+#include <cassert>
+
+namespace sas {
+
+Interval DyadicToInterval(const DyadicInterval& d, int bits) {
+  const int shift = bits - d.level;
+  const Coord lo = d.index << shift;
+  return {lo, lo + (Coord{1} << shift)};
+}
+
+std::vector<DyadicInterval> DyadicDecompose(Coord lo, Coord hi, int bits) {
+  assert(bits >= 0 && bits < 64);
+  assert(hi <= (Coord{1} << bits));
+  std::vector<DyadicInterval> out;
+  // Greedy: repeatedly take the largest dyadic block aligned at `lo` that
+  // does not overshoot `hi`.
+  while (lo < hi) {
+    // Largest power of two dividing lo (or the whole domain when lo == 0).
+    int align = (lo == 0) ? bits : std::countr_zero(lo);
+    if (align > bits) align = bits;
+    // Shrink until the block fits within [lo, hi).
+    Coord block = Coord{1} << align;
+    while (lo + block > hi) {
+      block >>= 1;
+      --align;
+    }
+    out.push_back({bits - align, lo >> align});
+    lo += block;
+  }
+  return out;
+}
+
+}  // namespace sas

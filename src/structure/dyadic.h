@@ -1,0 +1,44 @@
+// Dyadic-interval machinery used by the wavelet, q-digest and sketch
+// baselines: canonical decomposition of an interval into O(log u) dyadic
+// pieces, and dyadic ancestors of a point.
+//
+// Levels are counted from the root: level 0 is the whole domain [0, 2^bits),
+// level j splits it into 2^j equal intervals, and level `bits` is the unit
+// cells.
+
+#ifndef SAS_STRUCTURE_DYADIC_H_
+#define SAS_STRUCTURE_DYADIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sas {
+
+/// One dyadic interval: level j, index k covers
+/// [k * 2^(bits-j), (k+1) * 2^(bits-j)).
+struct DyadicInterval {
+  int level = 0;
+  Coord index = 0;
+
+  friend bool operator==(const DyadicInterval&, const DyadicInterval&) =
+      default;
+};
+
+/// The coordinate interval covered by a dyadic interval in a `bits`-bit
+/// domain.
+Interval DyadicToInterval(const DyadicInterval& d, int bits);
+
+/// Index of the level-j dyadic ancestor of coordinate c.
+inline Coord DyadicAncestorIndex(Coord c, int level, int bits) {
+  return c >> (bits - level);
+}
+
+/// Canonical decomposition of [lo, hi) into at most 2*bits disjoint dyadic
+/// intervals whose union is exactly [lo, hi). Requires hi <= 2^bits.
+std::vector<DyadicInterval> DyadicDecompose(Coord lo, Coord hi, int bits);
+
+}  // namespace sas
+
+#endif  // SAS_STRUCTURE_DYADIC_H_

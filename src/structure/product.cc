@@ -1,0 +1,32 @@
+#include "structure/product.h"
+
+#include <algorithm>
+
+namespace sas {
+
+Interval IntersectIntervals(const Interval& a, const Interval& b) {
+  Interval out{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+  if (out.hi < out.lo) out.hi = out.lo;
+  return out;
+}
+
+Box IntersectBoxes(const Box& a, const Box& b) {
+  return Box{IntersectIntervals(a.x, b.x), IntersectIntervals(a.y, b.y)};
+}
+
+double IntervalOverlapFraction(const Interval& a, const Interval& b) {
+  if (a.Empty()) return 0.0;
+  const Interval inter = IntersectIntervals(a, b);
+  return static_cast<double>(inter.Length()) /
+         static_cast<double>(a.Length());
+}
+
+double BoxOverlapFraction(const Box& a, const Box& b) {
+  return IntervalOverlapFraction(a.x, b.x) * IntervalOverlapFraction(a.y, b.y);
+}
+
+bool BoxesIntersect(const Box& a, const Box& b) {
+  return !IntersectBoxes(a, b).Empty();
+}
+
+}  // namespace sas

@@ -1,0 +1,53 @@
+#include "summaries/count_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/random.h"
+
+namespace sas {
+
+CountSketch::CountSketch(std::size_t rows, std::size_t width,
+                         std::uint64_t seed)
+    : rows_(rows), width_(width) {
+  assert(rows >= 1 && width >= 1);
+  table_.assign(rows_ * width_, 0.0);
+  row_seed_.resize(rows_);
+  std::uint64_t sm = seed;
+  for (auto& s : row_seed_) s = SplitMix64(&sm);
+}
+
+std::pair<std::size_t, double> CountSketch::Locate(
+    std::size_t r, std::uint64_t item) const {
+  const std::uint64_t h = Mix64(item ^ row_seed_[r]);
+  const std::size_t bucket = static_cast<std::size_t>(
+      (static_cast<__uint128_t>(h >> 1) * width_) >> 63);
+  const double sign = (h & 1) ? 1.0 : -1.0;
+  return {bucket, sign};
+}
+
+void CountSketch::Update(std::uint64_t item, Weight w) {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto [bucket, sign] = Locate(r, item);
+    table_[r * width_ + bucket] += sign * w;
+  }
+}
+
+Weight CountSketch::Estimate(std::uint64_t item) const {
+  std::vector<double> ests(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto [bucket, sign] = Locate(r, item);
+    ests[r] = sign * table_[r * width_ + bucket];
+  }
+  std::nth_element(ests.begin(), ests.begin() + rows_ / 2, ests.end());
+  double med = ests[rows_ / 2];
+  if (rows_ % 2 == 0) {
+    // Even number of rows: average the two central order statistics.
+    const double hi = med;
+    std::nth_element(ests.begin(), ests.begin() + rows_ / 2 - 1, ests.end());
+    med = 0.5 * (hi + ests[rows_ / 2 - 1]);
+  }
+  return med;
+}
+
+}  // namespace sas

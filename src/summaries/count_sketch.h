@@ -1,0 +1,44 @@
+// Count-Sketch (Charikar, Chen, Farach-Colton [4]): an unbiased randomized
+// frequency summary. Each of `rows` rows hashes an item to one of `width`
+// counters with a random +-1 sign; the estimate is the median of the signed
+// counters. Used by the dyadic range sketch (the *Sketch* baseline).
+
+#ifndef SAS_SUMMARIES_COUNT_SKETCH_H_
+#define SAS_SUMMARIES_COUNT_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sas {
+
+class CountSketch {
+ public:
+  CountSketch(std::size_t rows, std::size_t width, std::uint64_t seed);
+
+  void Update(std::uint64_t item, Weight w);
+
+  /// Median-of-rows estimate of the total weight of `item`.
+  Weight Estimate(std::uint64_t item) const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t width() const { return width_; }
+  /// Total number of counters (summary size in elements).
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  /// Row-r bucket and sign for an item.
+  std::pair<std::size_t, double> Locate(std::size_t r,
+                                        std::uint64_t item) const;
+
+  std::size_t rows_;
+  std::size_t width_;
+  std::vector<std::uint64_t> row_seed_;
+  std::vector<double> table_;  // rows_ x width_
+};
+
+}  // namespace sas
+
+#endif  // SAS_SUMMARIES_COUNT_SKETCH_H_

@@ -1,0 +1,65 @@
+#include "summaries/dyadic_sketch.h"
+
+#include <algorithm>
+
+#include "core/random.h"
+#include "structure/dyadic.h"
+
+namespace sas {
+
+namespace {
+inline std::uint64_t CellId(Coord ix, Coord iy) {
+  return (static_cast<std::uint64_t>(ix) << 32) | iy;
+}
+}  // namespace
+
+DyadicSketch::DyadicSketch(int bits_x, int bits_y,
+                           std::size_t total_counters, std::size_t rows,
+                           std::uint64_t seed)
+    : bits_x_(bits_x), bits_y_(bits_y) {
+  const std::size_t pairs =
+      static_cast<std::size_t>(bits_x + 1) * (bits_y + 1);
+  const std::size_t width =
+      std::max<std::size_t>(1, total_counters / (pairs * rows));
+  std::uint64_t sm = seed;
+  sketches_.reserve(pairs);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    sketches_.emplace_back(rows, width, SplitMix64(&sm));
+  }
+}
+
+void DyadicSketch::Update(const Point2D& pt, Weight w) {
+  for (int jx = 0; jx <= bits_x_; ++jx) {
+    const Coord ix = DyadicAncestorIndex(pt.x, jx, bits_x_);
+    for (int jy = 0; jy <= bits_y_; ++jy) {
+      const Coord iy = DyadicAncestorIndex(pt.y, jy, bits_y_);
+      SketchAt(jx, jy).Update(CellId(ix, iy), w);
+    }
+  }
+}
+
+Weight DyadicSketch::EstimateBox(const Box& box) const {
+  const auto dx = DyadicDecompose(box.x.lo, box.x.hi, bits_x_);
+  const auto dy = DyadicDecompose(box.y.lo, box.y.hi, bits_y_);
+  double total = 0.0;
+  for (const auto& a : dx) {
+    for (const auto& b : dy) {
+      total += SketchAt(a.level, b.level).Estimate(CellId(a.index, b.index));
+    }
+  }
+  return total;
+}
+
+Weight DyadicSketch::EstimateQuery(const MultiRangeQuery& q) const {
+  double total = 0.0;
+  for (const auto& box : q.boxes) total += EstimateBox(box);
+  return total;
+}
+
+std::size_t DyadicSketch::size() const {
+  std::size_t total = 0;
+  for (const auto& s : sketches_) total += s.size();
+  return total;
+}
+
+}  // namespace sas

@@ -1,0 +1,50 @@
+// Dyadic range sketch (the *Sketch* baseline of Section 6): one
+// Count-Sketch per pair of dyadic levels (jx, jy). Every input point
+// updates all (bitsX+1)(bitsY+1) level-pair sketches with its dyadic
+// ancestor rectangle at that granularity — the (log X * log Y) per-item
+// cost the paper measures. A box query decomposes each axis range into
+// canonical dyadic intervals and sums the sketch estimates of all product
+// rectangles.
+
+#ifndef SAS_SUMMARIES_DYADIC_SKETCH_H_
+#define SAS_SUMMARIES_DYADIC_SKETCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+#include "summaries/count_sketch.h"
+
+namespace sas {
+
+class DyadicSketch {
+ public:
+  /// `total_counters` is the space budget (number of counters across all
+  /// level pairs); rows is the number of sketch rows per level pair.
+  DyadicSketch(int bits_x, int bits_y, std::size_t total_counters,
+               std::size_t rows, std::uint64_t seed);
+
+  void Update(const Point2D& pt, Weight w);
+
+  Weight EstimateBox(const Box& box) const;
+  Weight EstimateQuery(const MultiRangeQuery& q) const;
+
+  /// Total counters allocated (summary size in elements).
+  std::size_t size() const;
+
+ private:
+  const CountSketch& SketchAt(int jx, int jy) const {
+    return sketches_[static_cast<std::size_t>(jx) * (bits_y_ + 1) + jy];
+  }
+  CountSketch& SketchAt(int jx, int jy) {
+    return sketches_[static_cast<std::size_t>(jx) * (bits_y_ + 1) + jy];
+  }
+
+  int bits_x_;
+  int bits_y_;
+  std::vector<CountSketch> sketches_;
+};
+
+}  // namespace sas
+
+#endif  // SAS_SUMMARIES_DYADIC_SKETCH_H_

@@ -1,0 +1,33 @@
+#include "summaries/exact_summary.h"
+
+namespace sas {
+
+Weight ExactBoxSum(const std::vector<WeightedKey>& items, const Box& box) {
+  Weight total = 0.0;
+  for (const auto& it : items) {
+    if (box.Contains(it.pt)) total += it.weight;
+  }
+  return total;
+}
+
+Weight ExactQuerySum(const std::vector<WeightedKey>& items,
+                     const MultiRangeQuery& q) {
+  Weight total = 0.0;
+  for (const auto& it : items) {
+    for (const auto& box : q.boxes) {
+      if (box.Contains(it.pt)) {
+        total += it.weight;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+Weight TotalWeight(const std::vector<WeightedKey>& items) {
+  Weight total = 0.0;
+  for (const auto& it : items) total += it.weight;
+  return total;
+}
+
+}  // namespace sas

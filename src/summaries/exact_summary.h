@@ -1,0 +1,25 @@
+// Exact "summary": brute force over the raw data. Ground truth for the
+// evaluation harness and the tests.
+
+#ifndef SAS_SUMMARIES_EXACT_SUMMARY_H_
+#define SAS_SUMMARIES_EXACT_SUMMARY_H_
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace sas {
+
+/// Exact total weight of items inside the box.
+Weight ExactBoxSum(const std::vector<WeightedKey>& items, const Box& box);
+
+/// Exact total for a multi-rectangle query (rectangles disjoint).
+Weight ExactQuerySum(const std::vector<WeightedKey>& items,
+                     const MultiRangeQuery& q);
+
+/// Total weight of the whole dataset.
+Weight TotalWeight(const std::vector<WeightedKey>& items);
+
+}  // namespace sas
+
+#endif  // SAS_SUMMARIES_EXACT_SUMMARY_H_

@@ -1,0 +1,75 @@
+#include "summaries/haar1d.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace sas {
+
+namespace {
+
+/// Clamped length of the intersection of [lo, hi) with [a, b).
+inline double OverlapLen(Coord lo, Coord hi, Coord a, Coord b) {
+  const Coord l = lo > a ? lo : a;
+  const Coord h = hi < b ? hi : b;
+  return h > l ? static_cast<double>(h - l) : 0.0;
+}
+
+}  // namespace
+
+Haar1D::Haar1D(int bits) : bits_(bits) { assert(bits >= 0 && bits < 63); }
+
+double Haar1D::Value(HaarCode code, Coord x) const {
+  if (code == 0) {
+    return 1.0 / std::sqrt(static_cast<double>(domain()));
+  }
+  const int level = std::bit_width(code) - 1;     // j
+  const Coord k = code - (Coord{1} << level);     // offset within level
+  const int span_bits = bits_ - level;            // support = 2^span_bits
+  if ((x >> span_bits) != k) return 0.0;
+  const double norm =
+      1.0 / std::sqrt(static_cast<double>(Coord{1} << span_bits));
+  const bool right_half = (x >> (span_bits - 1)) & 1;
+  return right_half ? -norm : norm;
+}
+
+void Haar1D::PointCodes(Coord x,
+                        std::vector<std::pair<HaarCode, double>>* out) const {
+  out->emplace_back(0, 1.0 / std::sqrt(static_cast<double>(domain())));
+  for (int level = 0; level < bits_; ++level) {
+    const int span_bits = bits_ - level;
+    const Coord k = x >> span_bits;
+    const HaarCode code = (Coord{1} << level) + k;
+    const double norm =
+        1.0 / std::sqrt(static_cast<double>(Coord{1} << span_bits));
+    const bool right_half = (x >> (span_bits - 1)) & 1;
+    out->emplace_back(code, right_half ? -norm : norm);
+  }
+}
+
+double Haar1D::Integral(HaarCode code, Coord lo, Coord hi) const {
+  if (hi <= lo) return 0.0;
+  if (code == 0) {
+    return static_cast<double>(hi - lo) /
+           std::sqrt(static_cast<double>(domain()));
+  }
+  const int level = std::bit_width(code) - 1;
+  const Coord k = code - (Coord{1} << level);
+  const int span_bits = bits_ - level;
+  const Coord a = k << span_bits;
+  const Coord mid = a + (Coord{1} << (span_bits - 1));
+  const Coord b = a + (Coord{1} << span_bits);
+  const double norm =
+      1.0 / std::sqrt(static_cast<double>(Coord{1} << span_bits));
+  return norm * (OverlapLen(lo, hi, a, mid) - OverlapLen(lo, hi, mid, b));
+}
+
+Interval Haar1D::Support(HaarCode code) const {
+  if (code == 0) return {0, domain()};
+  const int level = std::bit_width(code) - 1;
+  const Coord k = code - (Coord{1} << level);
+  const int span_bits = bits_ - level;
+  return {k << span_bits, (k + 1) << span_bits};
+}
+
+}  // namespace sas

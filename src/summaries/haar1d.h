@@ -1,0 +1,52 @@
+// One-dimensional normalized Haar wavelet basis over a domain of 2^bits
+// coordinates. Building block of the 2-D wavelet baseline (tensor
+// products). Everything here is sparse: a point touches bits+1 basis
+// functions, and the integral of a basis function over an interval is O(1).
+
+#ifndef SAS_SUMMARIES_HAAR1D_H_
+#define SAS_SUMMARIES_HAAR1D_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sas {
+
+/// Identifier of a 1-D Haar basis function using the standard heap
+/// numbering: code 0 is the scaling function (constant 1/sqrt(u)); code
+/// 2^j + k (for level j in [0, bits), offset k in [0, 2^j)) is the wavelet
+/// psi_{j,k} supported on [k*2^(bits-j), (k+1)*2^(bits-j)), positive on the
+/// left half and negative on the right, normalized to unit L2 norm.
+using HaarCode = std::uint64_t;
+
+class Haar1D {
+ public:
+  explicit Haar1D(int bits);
+
+  int bits() const { return bits_; }
+  Coord domain() const { return Coord{1} << bits_; }
+  /// Number of basis functions = domain size.
+  std::uint64_t num_functions() const { return domain(); }
+
+  /// Value of basis function `code` at coordinate x.
+  double Value(HaarCode code, Coord x) const;
+
+  /// The bits+1 codes whose basis functions are nonzero at x, together with
+  /// their values there. Appends (code, value) pairs to *out.
+  void PointCodes(Coord x,
+                  std::vector<std::pair<HaarCode, double>>* out) const;
+
+  /// Sum of the basis function over the interval [lo, hi) in O(1).
+  double Integral(HaarCode code, Coord lo, Coord hi) const;
+
+  /// Support of the basis function (whole domain for the scaling function).
+  Interval Support(HaarCode code) const;
+
+ private:
+  int bits_;
+};
+
+}  // namespace sas
+
+#endif  // SAS_SUMMARIES_HAAR1D_H_

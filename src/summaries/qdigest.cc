@@ -1,0 +1,49 @@
+#include "summaries/qdigest.h"
+
+#include <unordered_map>
+
+#include "structure/product.h"
+
+namespace sas {
+
+QDigest::QDigest(const std::vector<std::pair<Coord, Weight>>& data, double k,
+                 int bits)
+    : bits_(bits) {
+  for (const auto& [c, w] : data) total_ += w;
+  if (data.empty() || total_ <= 0.0) return;
+  const double threshold = total_ / k;
+
+  // Level-by-level bottom-up compression: a node lighter than W/k pushes
+  // its mass to its parent; otherwise it is materialized.
+  std::unordered_map<Coord, Weight> level;
+  level.reserve(data.size());
+  for (const auto& [c, w] : data) level[c] += w;
+  for (int depth = bits_; depth >= 1; --depth) {
+    std::unordered_map<Coord, Weight> parent_level;
+    parent_level.reserve(level.size() / 2 + 1);
+    for (const auto& [idx, w] : level) {
+      if (w < threshold) {
+        parent_level[idx >> 1] += w;
+      } else {
+        nodes_.push_back({{depth, idx}, w});
+      }
+    }
+    level = std::move(parent_level);
+  }
+  // Whatever reaches the root is materialized there.
+  for (const auto& [idx, w] : level) {
+    if (w > 0.0) nodes_.push_back({{0, idx}, w});
+  }
+}
+
+Weight QDigest::RangeSum(Coord lo, Coord hi) const {
+  const Interval q{lo, hi};
+  double total = 0.0;
+  for (const auto& e : nodes_) {
+    const Interval cell = DyadicToInterval(e.cell, bits_);
+    total += e.weight * IntervalOverlapFraction(cell, q);
+  }
+  return total;
+}
+
+}  // namespace sas

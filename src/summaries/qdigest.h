@@ -1,0 +1,55 @@
+// Classic one-dimensional q-digest (Shrivastava et al. [22]).
+//
+// Counts (here: weights) live on the nodes of the dyadic tree over a
+// domain of 2^bits coordinates. Nodes whose subtree is light relative to
+// W/k are merged upward, so the materialized size is O(k log u). Range
+// sums are answered by summing materialized node weights scaled by the
+// overlap fraction of the node's dyadic interval with the query.
+
+#ifndef SAS_SUMMARIES_QDIGEST_H_
+#define SAS_SUMMARIES_QDIGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "structure/dyadic.h"
+
+namespace sas {
+
+class QDigest {
+ public:
+  /// Builds a digest over weighted coordinates with compression parameter
+  /// k (larger k = larger, more accurate digest).
+  QDigest(const std::vector<std::pair<Coord, Weight>>& data, double k,
+          int bits);
+
+  /// Estimated total weight in [lo, hi) (uniform-within-node assumption for
+  /// partially overlapped nodes).
+  Weight RangeSum(Coord lo, Coord hi) const;
+
+  /// Estimated rank: total weight strictly below x.
+  Weight Rank(Coord x) const { return RangeSum(0, x); }
+
+  /// Number of materialized nodes (summary size in elements).
+  std::size_t size() const { return nodes_.size(); }
+
+  Weight total_weight() const { return total_; }
+
+  /// Materialized node: dyadic interval + retained weight.
+  struct NodeEntry {
+    DyadicInterval cell;
+    Weight weight;
+  };
+  const std::vector<NodeEntry>& nodes() const { return nodes_; }
+
+ private:
+  int bits_;
+  Weight total_ = 0.0;
+  std::vector<NodeEntry> nodes_;
+};
+
+}  // namespace sas
+
+#endif  // SAS_SUMMARIES_QDIGEST_H_

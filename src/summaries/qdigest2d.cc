@@ -1,0 +1,118 @@
+#include "summaries/qdigest2d.h"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "structure/product.h"
+
+namespace sas {
+
+namespace {
+
+/// Axis split sequence: alternate x,y while both axes have bits left, then
+/// finish the longer axis. Returns axis index (0=x, 1=y) per depth.
+std::vector<int> AxisSequence(int bits_x, int bits_y) {
+  std::vector<int> axes;
+  axes.reserve(bits_x + bits_y);
+  int rx = bits_x, ry = bits_y;
+  bool turn_x = true;
+  while (rx > 0 || ry > 0) {
+    if ((turn_x && rx > 0) || ry == 0) {
+      axes.push_back(0);
+      --rx;
+    } else {
+      axes.push_back(1);
+      --ry;
+    }
+    turn_x = !turn_x;
+  }
+  return axes;
+}
+
+/// Interleaved full-depth path of a point (x bit first).
+std::uint64_t EncodePath(const Point2D& pt, const std::vector<int>& axes,
+                         int bits_x, int bits_y) {
+  std::uint64_t path = 0;
+  int used_x = 0, used_y = 0;
+  for (int axis : axes) {
+    std::uint64_t bit;
+    if (axis == 0) {
+      bit = (pt.x >> (bits_x - 1 - used_x)) & 1;
+      ++used_x;
+    } else {
+      bit = (pt.y >> (bits_y - 1 - used_y)) & 1;
+      ++used_y;
+    }
+    path = (path << 1) | bit;
+  }
+  return path;
+}
+
+}  // namespace
+
+QDigest2D::QDigest2D(const std::vector<WeightedKey>& items, double k,
+                     int bits_x, int bits_y)
+    : bits_x_(bits_x), bits_y_(bits_y) {
+  assert(bits_x >= 1 && bits_y >= 1 && bits_x + bits_y <= 64);
+  for (const auto& it : items) total_ += it.weight;
+  if (items.empty() || total_ <= 0.0) return;
+  const double threshold = total_ / k;
+  const std::vector<int> axes = AxisSequence(bits_x, bits_y);
+  const int max_depth = bits_x + bits_y;
+
+  std::unordered_map<std::uint64_t, Weight> level;
+  level.reserve(items.size());
+  for (const auto& it : items) {
+    level[EncodePath(it.pt, axes, bits_x, bits_y)] += it.weight;
+  }
+  for (int depth = max_depth; depth >= 1; --depth) {
+    std::unordered_map<std::uint64_t, Weight> parent_level;
+    parent_level.reserve(level.size() / 2 + 1);
+    for (const auto& [path, w] : level) {
+      if (w < threshold) {
+        parent_level[path >> 1] += w;
+      } else {
+        nodes_.push_back({DecodeBox(depth, path), w});
+      }
+    }
+    level = std::move(parent_level);
+  }
+  for (const auto& [path, w] : level) {
+    if (w > 0.0) nodes_.push_back({DecodeBox(0, path), w});
+  }
+}
+
+Box QDigest2D::DecodeBox(int depth, std::uint64_t path) const {
+  const std::vector<int> axes = AxisSequence(bits_x_, bits_y_);
+  Coord x_lo = 0, y_lo = 0;
+  int used_x = 0, used_y = 0;
+  for (int d = 0; d < depth; ++d) {
+    const std::uint64_t bit = (path >> (depth - 1 - d)) & 1;
+    if (axes[d] == 0) {
+      x_lo |= bit << (bits_x_ - 1 - used_x);
+      ++used_x;
+    } else {
+      y_lo |= bit << (bits_y_ - 1 - used_y);
+      ++used_y;
+    }
+  }
+  const Coord x_span = Coord{1} << (bits_x_ - used_x);
+  const Coord y_span = Coord{1} << (bits_y_ - used_y);
+  return Box{{x_lo, x_lo + x_span}, {y_lo, y_lo + y_span}};
+}
+
+Weight QDigest2D::EstimateBox(const Box& box) const {
+  double total = 0.0;
+  for (const auto& e : nodes_) {
+    total += e.weight * BoxOverlapFraction(e.cell, box);
+  }
+  return total;
+}
+
+Weight QDigest2D::EstimateQuery(const MultiRangeQuery& q) const {
+  double total = 0.0;
+  for (const auto& box : q.boxes) total += EstimateBox(box);
+  return total;
+}
+
+}  // namespace sas

@@ -1,0 +1,56 @@
+// Two-dimensional q-digest (the *Qdigest* baseline of Section 6, after the
+// adaptive spatial partitioning of Hershberger et al. [14]).
+//
+// The space is refined by a dyadic kd hierarchy that splits the x and y
+// axes alternately; a node at depth d is identified by the first d bits of
+// the interleaved (x, y) bit string. Nodes lighter than W/k push their
+// mass to their parent; the rest are materialized ("heavy rectangles").
+// Box queries sum materialized weights scaled by area overlap. The summary
+// size is the number of materialized nodes, as in the paper.
+
+#ifndef SAS_SUMMARIES_QDIGEST2D_H_
+#define SAS_SUMMARIES_QDIGEST2D_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sas {
+
+class QDigest2D {
+ public:
+  /// Builds a digest over 2-D weighted points with compression parameter k
+  /// (expected materialized size <= k + O(1)).
+  QDigest2D(const std::vector<WeightedKey>& items, double k, int bits_x,
+            int bits_y);
+
+  Weight EstimateBox(const Box& box) const;
+  Weight EstimateQuery(const MultiRangeQuery& q) const;
+
+  /// Number of materialized nodes (summary size in elements).
+  std::size_t size() const { return nodes_.size(); }
+
+  Weight total_weight() const { return total_; }
+
+  struct NodeEntry {
+    Box cell;
+    Weight weight;
+  };
+  const std::vector<NodeEntry>& nodes() const { return nodes_; }
+
+ private:
+  /// Decodes the box of a node at `depth` whose interleaved-bit path is
+  /// `path` (x bit first).
+  Box DecodeBox(int depth, std::uint64_t path) const;
+
+  int bits_x_;
+  int bits_y_;
+  Weight total_ = 0.0;
+  std::vector<NodeEntry> nodes_;
+};
+
+}  // namespace sas
+
+#endif  // SAS_SUMMARIES_QDIGEST2D_H_

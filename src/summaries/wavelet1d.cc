@@ -1,0 +1,55 @@
+#include "summaries/wavelet1d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace sas {
+
+Wavelet1D::Wavelet1D(const std::vector<std::pair<Coord, Weight>>& data,
+                     std::size_t s, int bits)
+    : basis_(bits) {
+  std::unordered_map<HaarCode, double> acc;
+  acc.reserve(data.size() * 2);
+  std::vector<std::pair<HaarCode, double>> codes;
+  for (const auto& [x, w] : data) {
+    codes.clear();
+    basis_.PointCodes(x, &codes);
+    for (const auto& [code, v] : codes) acc[code] += w * v;
+  }
+  std::vector<Coefficient> all;
+  all.reserve(acc.size());
+  for (const auto& [code, v] : acc) {
+    if (v != 0.0) all.push_back({code, v});
+  }
+  auto influence = [this](const Coefficient& c) {
+    return std::fabs(c.value) *
+           std::sqrt(static_cast<double>(basis_.Support(c.code).Length()));
+  };
+  if (all.size() > s) {
+    std::nth_element(all.begin(), all.begin() + s, all.end(),
+                     [&](const Coefficient& a, const Coefficient& b) {
+                       return influence(a) > influence(b);
+                     });
+    all.resize(s);
+  }
+  coeffs_ = std::move(all);
+}
+
+Weight Wavelet1D::RangeSum(Coord lo, Coord hi) const {
+  double total = 0.0;
+  for (const auto& c : coeffs_) {
+    total += c.value * basis_.Integral(c.code, lo, hi);
+  }
+  return total;
+}
+
+Weight Wavelet1D::EstimatePoint(Coord x) const {
+  double total = 0.0;
+  for (const auto& c : coeffs_) {
+    total += c.value * basis_.Value(c.code, x);
+  }
+  return total;
+}
+
+}  // namespace sas

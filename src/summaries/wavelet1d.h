@@ -1,0 +1,43 @@
+// One-dimensional Haar wavelet summary: the classic range-sum summary of
+// Matias-Vitter-Wang [17] / Vitter-Wang-Iyer [28], kept for completeness
+// (the paper's evaluation uses the 2-D tensor construction in wavelet2d.h).
+// Coefficients are thresholded by their influence on range sums,
+// |c| * sqrt(support), as in the 2-D version.
+
+#ifndef SAS_SUMMARIES_WAVELET1D_H_
+#define SAS_SUMMARIES_WAVELET1D_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+#include "summaries/haar1d.h"
+
+namespace sas {
+
+class Wavelet1D {
+ public:
+  Wavelet1D(const std::vector<std::pair<Coord, Weight>>& data, std::size_t s,
+            int bits);
+
+  /// Estimated total weight in [lo, hi).
+  Weight RangeSum(Coord lo, Coord hi) const;
+
+  /// Reconstructed value at one coordinate.
+  Weight EstimatePoint(Coord x) const;
+
+  std::size_t size() const { return coeffs_.size(); }
+
+ private:
+  struct Coefficient {
+    HaarCode code;
+    double value;
+  };
+
+  Haar1D basis_;
+  std::vector<Coefficient> coeffs_;
+};
+
+}  // namespace sas
+
+#endif  // SAS_SUMMARIES_WAVELET1D_H_

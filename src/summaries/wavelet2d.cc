@@ -1,0 +1,87 @@
+#include "summaries/wavelet2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace sas {
+
+Wavelet2D::Wavelet2D(const std::vector<WeightedKey>& items, std::size_t s,
+                     int bits_x, int bits_y)
+    : hx_(bits_x), hy_(bits_y) {
+  // Sparse transform: accumulate every coefficient touched by any point.
+  std::unordered_map<std::uint64_t, double> acc;
+  acc.reserve(items.size() * (bits_x + 1));
+  std::vector<std::pair<HaarCode, double>> xs, ys;
+  for (const auto& it : items) {
+    xs.clear();
+    ys.clear();
+    hx_.PointCodes(it.pt.x, &xs);
+    hy_.PointCodes(it.pt.y, &ys);
+    for (const auto& [cx, vx] : xs) {
+      const double wx = it.weight * vx;
+      for (const auto& [cy, vy] : ys) {
+        acc[(static_cast<std::uint64_t>(cx) << 32) | cy] += wx * vy;
+      }
+    }
+  }
+  dense_count_ = acc.size();
+
+  // Threshold: keep the s coefficients with the largest influence on
+  // range sums. In the orthonormal basis a coefficient's contribution to a
+  // box sum scales with |c| * sqrt(support_x * support_y) (the integral of
+  // the basis function over half its support), so ranking by that product
+  // keeps the coarse mass carriers that range queries depend on; ranking
+  // by raw |c| alone would keep only the finest (point-localized)
+  // coefficients, which integrate to ~0 over any large range.
+  auto influence = [this](const Coefficient& c) {
+    const double sx = static_cast<double>(hx_.Support(c.cx).Length());
+    const double sy = static_cast<double>(hy_.Support(c.cy).Length());
+    return std::fabs(c.value) * std::sqrt(sx * sy);
+  };
+  std::vector<Coefficient> all;
+  all.reserve(acc.size());
+  for (const auto& [code, v] : acc) {
+    if (v != 0.0) {
+      all.push_back({static_cast<HaarCode>(code >> 32),
+                     static_cast<HaarCode>(code & 0xFFFFFFFFULL), v});
+    }
+  }
+  if (all.size() > s) {
+    std::nth_element(all.begin(), all.begin() + s, all.end(),
+                     [&](const Coefficient& a, const Coefficient& b) {
+                       return influence(a) > influence(b);
+                     });
+    all.resize(s);
+  }
+  coeffs_ = std::move(all);
+}
+
+Weight Wavelet2D::EstimateBox(const Box& box) const {
+  double total = 0.0;
+  for (const auto& c : coeffs_) {
+    const double ix = hx_.Integral(c.cx, box.x.lo, box.x.hi);
+    if (ix == 0.0) continue;
+    const double iy = hy_.Integral(c.cy, box.y.lo, box.y.hi);
+    total += c.value * ix * iy;
+  }
+  return total;
+}
+
+Weight Wavelet2D::EstimateQuery(const MultiRangeQuery& q) const {
+  double total = 0.0;
+  for (const auto& box : q.boxes) total += EstimateBox(box);
+  return total;
+}
+
+Weight Wavelet2D::EstimatePoint(const Point2D& pt) const {
+  double total = 0.0;
+  for (const auto& c : coeffs_) {
+    const double vx = hx_.Value(c.cx, pt.x);
+    if (vx == 0.0) continue;
+    total += c.value * vx * hy_.Value(c.cy, pt.y);
+  }
+  return total;
+}
+
+}  // namespace sas

@@ -1,0 +1,62 @@
+// Two-dimensional standard Haar wavelet summary (the *Wavelet* baseline of
+// Section 6, after [28]).
+//
+// The basis is the tensor product of two 1-D Haar bases: each input point
+// contributes to (bitsX+1)(bitsY+1) coefficients, computed sparsely into a
+// hash map (the paper: "when the domain is large and the data sparse, it is
+// more efficient to generate the transform of each key"). After the build,
+// only the s largest (normalized) coefficients are retained. A box query
+// sums coeff * Integral_x * Integral_y over the retained coefficients in
+// O(s).
+
+#ifndef SAS_SUMMARIES_WAVELET2D_H_
+#define SAS_SUMMARIES_WAVELET2D_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "summaries/haar1d.h"
+
+namespace sas {
+
+class Wavelet2D {
+ public:
+  /// Builds the full (sparse) transform of `items` and keeps the `s`
+  /// largest coefficients by absolute value.
+  Wavelet2D(const std::vector<WeightedKey>& items, std::size_t s, int bits_x,
+            int bits_y);
+
+  /// Estimate of the total weight inside the box.
+  Weight EstimateBox(const Box& box) const;
+
+  /// Estimate for a multi-rectangle query (sums box estimates; rectangles
+  /// are disjoint).
+  Weight EstimateQuery(const MultiRangeQuery& q) const;
+
+  /// Reconstructed value at a single cell.
+  Weight EstimatePoint(const Point2D& pt) const;
+
+  /// Retained coefficients (summary size in elements).
+  std::size_t size() const { return coeffs_.size(); }
+
+  /// Number of nonzero coefficients before thresholding (cost metric).
+  std::size_t dense_coefficients() const { return dense_count_; }
+
+ private:
+  struct Coefficient {
+    HaarCode cx;
+    HaarCode cy;
+    double value;
+  };
+
+  Haar1D hx_;
+  Haar1D hy_;
+  std::vector<Coefficient> coeffs_;
+  std::size_t dense_count_ = 0;
+};
+
+}  // namespace sas
+
+#endif  // SAS_SUMMARIES_WAVELET2D_H_

@@ -1,0 +1,72 @@
+#include "core/discrepancy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace sas {
+namespace {
+
+TEST(RangeDiscrepancy, Basic) {
+  const std::vector<double> probs{0.5, 0.5, 0.5, 0.5};
+  const std::vector<char> flags{1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(RangeDiscrepancy(probs, flags, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(RangeDiscrepancy(probs, flags, {0, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(RangeDiscrepancy(probs, flags, {1, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(RangeDiscrepancy(probs, flags, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(RangeDiscrepancy(probs, flags, {1}), 0.5);
+}
+
+TEST(MaxIntervalDiscrepancy, MatchesBruteForce) {
+  const std::vector<double> probs{0.3, 0.7, 0.2, 0.8, 0.5};
+  const std::vector<char> flags{0, 1, 1, 0, 1};
+  // Brute force over all intervals.
+  double best = 0.0;
+  const std::size_t n = probs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j <= n; ++j) {
+      double e = 0.0, a = 0.0;
+      for (std::size_t k = i; k < j; ++k) {
+        e += probs[k];
+        a += flags[k];
+      }
+      best = std::max(best, std::abs(a - e));
+    }
+  }
+  EXPECT_NEAR(MaxIntervalDiscrepancy(probs, flags), best, 1e-12);
+}
+
+TEST(MaxIntervalDiscrepancy, ZeroForPerfectMatch) {
+  const std::vector<double> probs{1.0, 0.0, 1.0};
+  const std::vector<char> flags{1, 0, 1};
+  EXPECT_DOUBLE_EQ(MaxIntervalDiscrepancy(probs, flags), 0.0);
+}
+
+TEST(MaxPrefixDiscrepancy, Basic) {
+  const std::vector<double> probs{0.5, 0.5};
+  const std::vector<char> flags{1, 1};
+  // Prefix [0,1): |1 - 0.5| = 0.5; prefix [0,2): |2 - 1| = 1.
+  EXPECT_DOUBLE_EQ(MaxPrefixDiscrepancy(probs, flags), 1.0);
+}
+
+TEST(MaxPrefixDiscrepancy, AtMostIntervalDiscrepancy) {
+  const std::vector<double> probs{0.2, 0.9, 0.4, 0.6, 0.1};
+  const std::vector<char> flags{1, 1, 0, 0, 0};
+  EXPECT_LE(MaxPrefixDiscrepancy(probs, flags),
+            MaxIntervalDiscrepancy(probs, flags) + 1e-12);
+}
+
+TEST(SampleFlags, BuildsCorrectly) {
+  const auto flags = SampleFlags(5, {1, 3});
+  ASSERT_EQ(flags.size(), 5u);
+  EXPECT_EQ(flags[0], 0);
+  EXPECT_EQ(flags[1], 1);
+  EXPECT_EQ(flags[2], 0);
+  EXPECT_EQ(flags[3], 1);
+  EXPECT_EQ(flags[4], 0);
+}
+
+}  // namespace
+}  // namespace sas

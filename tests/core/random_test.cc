@@ -1,0 +1,135 @@
+#include "core/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace sas {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BoundedInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1000000007ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BoundedRoughlyUniform) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.NextBounded(10)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(p);
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(Rng, ExpMeanOne) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExp();
+  EXPECT_NEAR(sum / n, 1.0, 0.03);
+}
+
+TEST(Rng, ParetoAtLeastOne) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.NextPareto(1.5), 1.0);
+  }
+}
+
+TEST(Rng, ParetoMedianMatchesTheory) {
+  // Median of Pareto(alpha, scale 1) is 2^(1/alpha).
+  Rng rng(23);
+  const double alpha = 2.0;
+  std::vector<double> xs(100001);
+  for (auto& x : xs) x = rng.NextPareto(alpha);
+  std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], std::pow(2.0, 1.0 / alpha), 0.03);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(31);
+  Rng child = parent.Split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitsDistinct) {
+  Rng parent(37);
+  Rng c1 = parent.Split();
+  Rng c2 = parent.Split();
+  EXPECT_NE(c1.Next(), c2.Next());
+}
+
+TEST(SplitMix, KnownAvalanche) {
+  // Mix64 should change about half the bits for a 1-bit input change.
+  int total = 0;
+  for (std::uint64_t x = 1; x < 100; ++x) {
+    total += std::popcount(Mix64(x) ^ Mix64(x + 1));
+  }
+  EXPECT_NEAR(total / 99.0, 32.0, 4.0);
+}
+
+}  // namespace
+}  // namespace sas

@@ -1,0 +1,81 @@
+#include "core/sample.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sas {
+namespace {
+
+Sample MakeSample() {
+  // tau = 2: weights below 2 are adjusted up to 2.
+  std::vector<WeightedKey> entries{
+      {0, 5.0, {10, 10}},  // heavy: adjusted weight 5
+      {1, 1.0, {20, 20}},  // light: adjusted weight 2
+      {2, 0.5, {30, 30}},  // light: adjusted weight 2
+  };
+  return Sample(2.0, std::move(entries));
+}
+
+TEST(Sample, AdjustedWeights) {
+  const Sample s = MakeSample();
+  EXPECT_DOUBLE_EQ(s.AdjustedWeight(s.entries()[0]), 5.0);
+  EXPECT_DOUBLE_EQ(s.AdjustedWeight(s.entries()[1]), 2.0);
+  EXPECT_DOUBLE_EQ(s.AdjustedWeight(s.entries()[2]), 2.0);
+}
+
+TEST(Sample, EstimateTotal) {
+  EXPECT_DOUBLE_EQ(MakeSample().EstimateTotal(), 9.0);
+}
+
+TEST(Sample, EstimateBox) {
+  const Sample s = MakeSample();
+  EXPECT_DOUBLE_EQ(s.EstimateBox({{0, 15}, {0, 15}}), 5.0);
+  EXPECT_DOUBLE_EQ(s.EstimateBox({{0, 25}, {0, 25}}), 7.0);
+  EXPECT_DOUBLE_EQ(s.EstimateBox({{0, 100}, {0, 100}}), 9.0);
+  EXPECT_DOUBLE_EQ(s.EstimateBox({{50, 60}, {50, 60}}), 0.0);
+}
+
+TEST(Sample, EstimateBoxBoundariesHalfOpen) {
+  const Sample s = MakeSample();
+  // Point at (10,10): box [10,11)x[10,11) contains it; [0,10)x... does not.
+  EXPECT_DOUBLE_EQ(s.EstimateBox({{10, 11}, {10, 11}}), 5.0);
+  EXPECT_DOUBLE_EQ(s.EstimateBox({{0, 10}, {0, 10}}), 0.0);
+}
+
+TEST(Sample, EstimateQueryDisjointBoxes) {
+  const Sample s = MakeSample();
+  MultiRangeQuery q;
+  q.boxes.push_back({{0, 15}, {0, 15}});
+  q.boxes.push_back({{25, 35}, {25, 35}});
+  EXPECT_DOUBLE_EQ(s.EstimateQuery(q), 7.0);
+}
+
+TEST(Sample, CountInBox) {
+  const Sample s = MakeSample();
+  EXPECT_EQ(s.CountInBox({{0, 25}, {0, 25}}), 2u);
+  EXPECT_EQ(s.CountInBox({{0, 100}, {0, 100}}), 3u);
+}
+
+TEST(Sample, EstimateSubsetPredicate) {
+  const Sample s = MakeSample();
+  const Weight est =
+      s.EstimateSubset([](const WeightedKey& k) { return k.id != 1; });
+  EXPECT_DOUBLE_EQ(est, 7.0);
+}
+
+TEST(Sample, EmptySample) {
+  const Sample s;
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_DOUBLE_EQ(s.EstimateTotal(), 0.0);
+  EXPECT_DOUBLE_EQ(s.EstimateBox({{0, 100}, {0, 100}}), 0.0);
+}
+
+TEST(Sample, ZeroTauActsAsExact) {
+  std::vector<WeightedKey> entries{{0, 1.5, {1, 1}}, {1, 2.5, {2, 2}}};
+  const Sample s(0.0, std::move(entries));
+  EXPECT_DOUBLE_EQ(s.EstimateTotal(), 4.0);
+}
+
+}  // namespace
+}  // namespace sas

@@ -1,0 +1,89 @@
+#include "core/tail_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/random.h"
+
+namespace sas {
+namespace {
+
+TEST(ChernoffUpper, TrivialRegion) {
+  EXPECT_DOUBLE_EQ(ChernoffUpper(5.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(ChernoffUpper(5.0, 4.0), 1.0);
+}
+
+TEST(ChernoffUpper, DecreasesInA) {
+  double prev = 1.0;
+  for (double a = 6.0; a <= 20.0; a += 1.0) {
+    const double b = ChernoffUpper(5.0, a);
+    EXPECT_LE(b, prev);
+    prev = b;
+  }
+  EXPECT_LT(prev, 1e-4);
+}
+
+TEST(ChernoffUpper, ZeroMean) {
+  EXPECT_DOUBLE_EQ(ChernoffUpper(0.0, 1.0), 0.0);
+}
+
+TEST(ChernoffLower, TrivialRegion) {
+  EXPECT_DOUBLE_EQ(ChernoffLower(5.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(ChernoffLower(5.0, 6.0), 1.0);
+}
+
+TEST(ChernoffLower, ZeroA) {
+  EXPECT_NEAR(ChernoffLower(5.0, 0.0), std::exp(-5.0), 1e-12);
+}
+
+TEST(ChernoffLower, NegativeAImpossible) {
+  EXPECT_DOUBLE_EQ(ChernoffLower(5.0, -1.0), 0.0);
+}
+
+TEST(ChernoffBounds, DominateBinomialTails) {
+  // Empirical check: Binomial(n=100, p=0.1) tail frequencies must be below
+  // the Chernoff bounds (Poisson sampling of 100 unit keys, mu = 10).
+  Rng rng(123);
+  const int n = 100;
+  const double p = 0.1;
+  const double mu = n * p;
+  const int trials = 20000;
+  int ge_20 = 0, le_3 = 0;
+  for (int t = 0; t < trials; ++t) {
+    int x = 0;
+    for (int i = 0; i < n; ++i) x += rng.NextBernoulli(p);
+    ge_20 += x >= 20;
+    le_3 += x <= 3;
+  }
+  EXPECT_LE(static_cast<double>(ge_20) / trials, ChernoffUpper(mu, 20.0));
+  EXPECT_LE(static_cast<double>(le_3) / trials, ChernoffLower(mu, 3.0));
+}
+
+TEST(EstimateTailBound, ExactWhenTauZero) {
+  EXPECT_DOUBLE_EQ(EstimateTailBound(10.0, 20.0, 0.0), 0.0);
+}
+
+TEST(EstimateTailBound, LooseNearTruth) {
+  EXPECT_DOUBLE_EQ(EstimateTailBound(10.0, 10.0, 1.0), 1.0);
+}
+
+TEST(EstimateTailBound, TightensWithDeviation) {
+  const double w = 50.0, tau = 1.0;
+  double prev = 1.0;
+  for (double h = 55.0; h <= 100.0; h += 5.0) {
+    const double b = EstimateTailBound(w, h, tau);
+    EXPECT_LE(b, prev);
+    prev = b;
+  }
+  EXPECT_LT(prev, 1e-3);
+}
+
+TEST(EstimateTailBound, ScalesWithTau) {
+  // Larger tau (smaller sample) means weaker guarantees.
+  EXPECT_LT(EstimateTailBound(50.0, 70.0, 1.0),
+            EstimateTailBound(50.0, 70.0, 5.0));
+}
+
+}  // namespace
+}  // namespace sas

@@ -1,0 +1,129 @@
+#include "data/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/random.h"
+#include "summaries/exact_summary.h"
+
+namespace sas {
+namespace {
+
+std::vector<WeightedKey> GridItems(Coord side, Coord spacing) {
+  std::vector<WeightedKey> items;
+  KeyId id = 0;
+  for (Coord x = 0; x < side; ++x) {
+    for (Coord y = 0; y < side; ++y) {
+      items.push_back({id++, 1.0, {x * spacing, y * spacing}});
+    }
+  }
+  return items;
+}
+
+ProductDomain2D MakeDomain(int bits) {
+  ProductDomain2D d;
+  d.x.bits = bits;
+  d.y.bits = bits;
+  return d;
+}
+
+TEST(UniformAreaQueries, ShapeAndExactness) {
+  Rng rng(1);
+  const auto items = GridItems(32, 8);  // domain 256
+  const auto domain = MakeDomain(8);
+  const auto battery = UniformAreaQueries(items, domain, 20, 5, 0.5, &rng);
+  EXPECT_EQ(battery.queries.size(), 20u);
+  EXPECT_DOUBLE_EQ(battery.data_total, 1024.0);
+  for (const auto& q : battery.queries) {
+    EXPECT_EQ(q.boxes.size(), 5u);
+    EXPECT_DOUBLE_EQ(q.exact, ExactQuerySum(items, q));
+    for (const auto& b : q.boxes) {
+      EXPECT_LE(b.x.hi, domain.x.size());
+      EXPECT_LE(b.y.hi, domain.y.size());
+      EXPECT_FALSE(b.Empty());
+    }
+  }
+}
+
+TEST(UniformAreaQueries, RectanglesDisjoint) {
+  Rng rng(2);
+  const auto items = GridItems(16, 16);
+  const auto domain = MakeDomain(8);
+  const auto battery = UniformAreaQueries(items, domain, 10, 8, 0.3, &rng);
+  for (const auto& q : battery.queries) {
+    for (std::size_t i = 0; i < q.boxes.size(); ++i) {
+      for (std::size_t j = i + 1; j < q.boxes.size(); ++j) {
+        EXPECT_FALSE(BoxesIntersect(q.boxes[i], q.boxes[j]));
+      }
+    }
+  }
+}
+
+TEST(WeightPartition, CellsCoverData) {
+  Rng rng(3);
+  const auto items = GridItems(32, 4);
+  const WeightPartition part(items, MakeDomain(7));
+  for (int depth : {1, 3, 5}) {
+    const auto cells = part.CellsAtDepth(depth);
+    EXPECT_GE(cells.size(), 1u);
+    // Every item lies in exactly one cell.
+    for (const auto& it : items) {
+      int hits = 0;
+      for (const auto& c : cells) hits += c.Contains(it.pt);
+      EXPECT_EQ(hits, 1) << "item at " << it.pt.x << "," << it.pt.y;
+    }
+  }
+}
+
+TEST(WeightPartition, CellsAtDepthBalanceWeight) {
+  Rng rng(4);
+  std::vector<WeightedKey> items;
+  for (KeyId i = 0; i < 4096; ++i) {
+    items.push_back({i, 1.0, {rng.NextBounded(1 << 16), rng.NextBounded(1 << 16)}});
+  }
+  const WeightPartition part(items, MakeDomain(16));
+  const auto cells = part.CellsAtDepth(4);
+  EXPECT_EQ(cells.size(), 16u);
+  for (const auto& c : cells) {
+    const Weight w = ExactBoxSum(items, c);
+    EXPECT_NEAR(w, 4096.0 / 16.0, 16.0);  // near-equal split
+  }
+}
+
+TEST(UniformWeightQueries, ShapeAndExactness) {
+  Rng rng(5);
+  const auto items = GridItems(32, 8);
+  const WeightPartition part(items, MakeDomain(8));
+  const auto battery = UniformWeightQueries(items, part, 15, 4, 5, &rng);
+  EXPECT_EQ(battery.queries.size(), 15u);
+  for (const auto& q : battery.queries) {
+    EXPECT_EQ(q.boxes.size(), 4u);
+    EXPECT_DOUBLE_EQ(q.exact, ExactQuerySum(items, q));
+    // Distinct cells at one depth are disjoint.
+    for (std::size_t i = 0; i < q.boxes.size(); ++i) {
+      for (std::size_t j = i + 1; j < q.boxes.size(); ++j) {
+        EXPECT_FALSE(BoxesIntersect(q.boxes[i], q.boxes[j]));
+      }
+    }
+  }
+}
+
+TEST(UniformWeightQueries, QueryWeightTracksDepth) {
+  Rng rng(6);
+  const auto items = GridItems(64, 4);
+  const WeightPartition part(items, MakeDomain(8));
+  // One cell at depth d holds ~ total / 2^d.
+  const auto shallow = UniformWeightQueries(items, part, 10, 1, 2, &rng);
+  const auto deep = UniformWeightQueries(items, part, 10, 1, 6, &rng);
+  double mean_shallow = 0.0, mean_deep = 0.0;
+  for (const auto& q : shallow.queries) mean_shallow += q.exact;
+  for (const auto& q : deep.queries) mean_deep += q.exact;
+  mean_shallow /= 10;
+  mean_deep /= 10;
+  EXPECT_GT(mean_shallow, 3.0 * mean_deep);
+}
+
+}  // namespace
+}  // namespace sas

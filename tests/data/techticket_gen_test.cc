@@ -1,0 +1,93 @@
+#include "data/techticket_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace sas {
+namespace {
+
+TechTicketConfig SmallConfig() {
+  TechTicketConfig cfg;
+  cfg.num_codes = 300;
+  cfg.num_locations = 2000;
+  cfg.num_pairs = 8000;
+  cfg.bits = 16;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(GenerateTechTicket, CardinalitiesMatchConfig) {
+  const auto ds = GenerateTechTicket(SmallConfig());
+  EXPECT_EQ(ds.items.size(), 8000u);
+  EXPECT_EQ(ds.name, "techticket");
+  std::unordered_set<std::uint64_t> pairs;
+  for (const auto& it : ds.items) {
+    pairs.insert((it.pt.x << 16) | it.pt.y);
+    EXPECT_GT(it.weight, 0.0);
+    EXPECT_LT(it.pt.x, Coord{1} << 16);
+    EXPECT_LT(it.pt.y, Coord{1} << 16);
+  }
+  EXPECT_EQ(pairs.size(), 8000u);
+}
+
+TEST(GenerateTechTicket, HierarchyLeafCounts) {
+  const auto ds = GenerateTechTicket(SmallConfig());
+  ASSERT_NE(ds.hx, nullptr);
+  ASSERT_NE(ds.hy, nullptr);
+  EXPECT_EQ(ds.hx->num_keys(), 300u);
+  EXPECT_EQ(ds.hy->num_keys(), 2000u);
+}
+
+TEST(GenerateTechTicket, CoordsConsistentWithHierarchies) {
+  // Every item x-coordinate must be a leaf coordinate of hx, and the
+  // hierarchy leaf coordinates are strictly increasing in DFS rank.
+  const auto ds = GenerateTechTicket(SmallConfig());
+  std::set<Coord> leaf_coords;
+  for (std::size_t r = 0; r < ds.hx->num_keys(); ++r) {
+    leaf_coords.insert(ds.hx->coord_of_key(ds.hx->key_at_rank(r)));
+  }
+  for (const auto& it : ds.items) {
+    EXPECT_TRUE(leaf_coords.count(it.pt.x)) << "x=" << it.pt.x;
+  }
+  Coord prev = 0;
+  bool first = true;
+  for (std::size_t r = 0; r < ds.hx->num_keys(); ++r) {
+    const Coord c = ds.hx->coord_of_key(ds.hx->key_at_rank(r));
+    if (!first) {
+      EXPECT_LT(prev, c);
+    }
+    prev = c;
+    first = false;
+  }
+}
+
+TEST(GenerateTechTicket, Deterministic) {
+  const auto a = GenerateTechTicket(SmallConfig());
+  const auto b = GenerateTechTicket(SmallConfig());
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].pt, b.items[i].pt);
+    EXPECT_DOUBLE_EQ(a.items[i].weight, b.items[i].weight);
+  }
+}
+
+TEST(GenerateTechTicket, HeavyHeadExists) {
+  // Section 6.4: the dataset must contain many keys heavy enough to be
+  // certain inclusions at moderate sample sizes.
+  const auto ds = GenerateTechTicket(SmallConfig());
+  std::vector<Weight> w = ds.Weights();
+  std::sort(w.begin(), w.end(), std::greater<>());
+  // Top 1% of keys hold a large share of the mass.
+  Weight total = 0.0, head = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    total += w[i];
+    if (i < w.size() / 100) head += w[i];
+  }
+  EXPECT_GT(head / total, 0.1);
+}
+
+}  // namespace
+}  // namespace sas

@@ -1,0 +1,79 @@
+#include "data/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace sas {
+namespace {
+
+TEST(Zipf, SamplesInRange) {
+  ZipfDistribution z(100, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(z.Sample(&rng), 100u);
+  }
+}
+
+TEST(Zipf, RankZeroMostPopular) {
+  ZipfDistribution z(1000, 1.0);
+  Rng rng(2);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) counts[z.Sample(&rng)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[100]);
+  EXPECT_GT(counts[10], counts[500]);
+}
+
+TEST(Zipf, FrequencyMatchesLaw) {
+  // With theta=1, Pr[0]/Pr[1] = 2.
+  ZipfDistribution z(50, 1.0);
+  Rng rng(3);
+  int c0 = 0, c1 = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const std::size_t s = z.Sample(&rng);
+    c0 += s == 0;
+    c1 += s == 1;
+  }
+  EXPECT_NEAR(static_cast<double>(c0) / c1, 2.0, 0.15);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfDistribution z(10, 0.0);
+  Rng rng(4);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[z.Sample(&rng)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Zipf, SingleElement) {
+  ZipfDistribution z(1, 2.0);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.Sample(&rng), 0u);
+}
+
+TEST(ParetoWeights, AllAtLeastOne) {
+  Rng rng(6);
+  const auto w = ParetoWeights(1000, 1.5, &rng);
+  ASSERT_EQ(w.size(), 1000u);
+  for (Weight x : w) EXPECT_GE(x, 1.0);
+}
+
+TEST(ParetoWeights, HeavyTailed) {
+  Rng rng(7);
+  const auto w = ParetoWeights(100000, 1.1, &rng);
+  Weight max_w = 0.0, total = 0.0;
+  for (Weight x : w) {
+    max_w = std::max(max_w, x);
+    total += x;
+  }
+  // A heavy tail puts a noticeable fraction of the mass on the max element.
+  EXPECT_GT(max_w / total, 0.005);
+}
+
+}  // namespace
+}  // namespace sas

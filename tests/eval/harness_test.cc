@@ -1,0 +1,75 @@
+#include "eval/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "data/network_gen.h"
+
+namespace sas {
+namespace {
+
+Dataset2D SmallDataset() {
+  NetworkConfig cfg;
+  cfg.num_sources = 200;
+  cfg.num_dests = 200;
+  cfg.num_pairs = 1500;
+  cfg.bits = 16;
+  cfg.seed = 5;
+  return GenerateNetwork(cfg);
+}
+
+TEST(BuildMethods, BuildsAllRequested) {
+  const auto ds = SmallDataset();
+  MethodSet methods;
+  methods.sketch = true;
+  const auto built = BuildMethods(ds, 100, methods, 123);
+  ASSERT_EQ(built.size(), 5u);
+  EXPECT_EQ(built[0].summary->Name(), "aware");
+  EXPECT_EQ(built[1].summary->Name(), "obliv");
+  EXPECT_EQ(built[2].summary->Name(), "wavelet");
+  EXPECT_EQ(built[3].summary->Name(), "qdigest");
+  EXPECT_EQ(built[4].summary->Name(), "sketch");
+  for (const auto& b : built) {
+    EXPECT_GE(b.build_seconds, 0.0);
+    EXPECT_GT(b.summary->SizeInElements(), 0u);
+  }
+}
+
+TEST(BuildMethods, SampleSizesExact) {
+  const auto ds = SmallDataset();
+  MethodSet methods;
+  methods.wavelet = methods.qdigest = false;
+  const auto built = BuildMethods(ds, 64, methods, 7);
+  ASSERT_EQ(built.size(), 2u);
+  EXPECT_EQ(built[0].summary->SizeInElements(), 64u);  // aware
+  EXPECT_EQ(built[1].summary->SizeInElements(), 64u);  // obliv
+}
+
+TEST(EvaluateOnBattery, ErrorsAreFiniteAndSmallForSamples) {
+  const auto ds = SmallDataset();
+  Rng rng(9);
+  const auto battery =
+      UniformAreaQueries(ds.items, ds.domain, 10, 5, 0.4, &rng);
+  MethodSet methods;
+  methods.wavelet = methods.qdigest = false;
+  const auto built = BuildMethods(ds, 200, methods, 11);
+  for (const auto& b : built) {
+    const auto result = EvaluateOnBattery(b, battery);
+    EXPECT_EQ(result.errors.count, 10u);
+    EXPECT_GE(result.query_seconds, 0.0);
+    EXPECT_LT(result.errors.mean_abs, 0.5);
+  }
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch sw;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  ::testing::Test::RecordProperty("sink", static_cast<int>(sink / 1e9));
+  EXPECT_GE(sw.Seconds(), 0.0);
+  const double t1 = sw.Seconds();
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(sw.Seconds(), t1);
+}
+
+}  // namespace
+}  // namespace sas

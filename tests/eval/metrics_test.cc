@@ -1,0 +1,45 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace sas {
+namespace {
+
+TEST(ComputeErrors, Basic) {
+  const std::vector<Weight> est{10.0, 20.0};
+  const std::vector<Weight> exact{12.0, 16.0};
+  const auto stats = ComputeErrors(est, exact, 100.0);
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_NEAR(stats.mean_abs, (0.02 + 0.04) / 2, 1e-12);
+  EXPECT_NEAR(stats.max_abs, 0.04, 1e-12);
+  EXPECT_NEAR(stats.sum_squared, 0.02 * 0.02 + 0.04 * 0.04, 1e-12);
+  EXPECT_NEAR(stats.mean_rel, (2.0 / 12 + 4.0 / 16) / 2, 1e-12);
+}
+
+TEST(ComputeErrors, PerfectEstimates) {
+  const std::vector<Weight> v{5.0, 7.0, 9.0};
+  const auto stats = ComputeErrors(v, v, 10.0);
+  EXPECT_DOUBLE_EQ(stats.mean_abs, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_abs, 0.0);
+  EXPECT_DOUBLE_EQ(stats.sum_squared, 0.0);
+}
+
+TEST(ComputeErrors, EmptyInput) {
+  const auto stats = ComputeErrors({}, {}, 10.0);
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_abs, 0.0);
+}
+
+TEST(ComputeErrors, ZeroTotalGuarded) {
+  const auto stats = ComputeErrors({1.0}, {2.0}, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_abs, 0.0);
+}
+
+TEST(ComputeErrors, ZeroExactUsesEpsilonForRelative) {
+  const auto stats = ComputeErrors({0.5}, {0.0}, 1.0);
+  EXPECT_GT(stats.mean_rel, 1.0);  // huge but finite
+  EXPECT_DOUBLE_EQ(stats.mean_abs, 0.5);
+}
+
+}  // namespace
+}  // namespace sas

@@ -1,0 +1,35 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+namespace sas {
+namespace {
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::Num(0.5), "0.50000");
+  EXPECT_EQ(Table::Num(0.0), "0.00000");
+  EXPECT_EQ(Table::Num(1.5e-5), "1.500e-05");
+  EXPECT_EQ(Table::Num(2.5e7), "2.500e+07");
+}
+
+TEST(Table, IntFormatting) {
+  EXPECT_EQ(Table::Int(0), "0");
+  EXPECT_EQ(Table::Int(123456), "123456");
+}
+
+TEST(Table, PrintDoesNotCrash) {
+  Table t({"a", "bb"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"longer", "x"});
+  t.Print();  // smoke: aligned output to stdout
+}
+
+TEST(Table, RaggedRowsTolerated) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"1"});
+  t.AddRow({"1", "2", "3"});
+  t.Print();
+}
+
+}  // namespace
+}  // namespace sas

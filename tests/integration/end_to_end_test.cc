@@ -1,0 +1,153 @@
+// End-to-end integration: generate a dataset, build every summary, run the
+// paper's query workloads, and check the qualitative findings of Section 6
+// at laptop scale (who wins, and how error scales).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/network_gen.h"
+#include "data/techticket_gen.h"
+#include "eval/harness.h"
+
+namespace sas {
+namespace {
+
+Dataset2D TestNetwork() {
+  NetworkConfig cfg;
+  cfg.num_sources = 1500;
+  cfg.num_dests = 1200;
+  cfg.num_pairs = 10000;
+  cfg.bits = 18;
+  cfg.seed = 31;
+  return GenerateNetwork(cfg);
+}
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ds_ = new Dataset2D(TestNetwork());
+    part_ = new WeightPartition(ds_->items, ds_->domain);
+  }
+  static void TearDownTestSuite() {
+    delete part_;
+    delete ds_;
+    ds_ = nullptr;
+    part_ = nullptr;
+  }
+  static Dataset2D* ds_;
+  static WeightPartition* part_;
+};
+
+Dataset2D* EndToEnd::ds_ = nullptr;
+WeightPartition* EndToEnd::part_ = nullptr;
+
+double MeanAbs(const Dataset2D& /*ds*/, const QueryBattery& battery,
+               const BuiltSummary& b) {
+  return EvaluateOnBattery(b, battery).errors.mean_abs;
+}
+
+TEST_F(EndToEnd, AllMethodsProduceFiniteErrors) {
+  Rng rng(1);
+  const auto battery =
+      UniformWeightQueries(ds_->items, *part_, 15, 5, 5, &rng);
+  MethodSet methods;
+  methods.sketch = true;
+  const auto built = BuildMethods(*ds_, 300, methods, 2);
+  for (const auto& b : built) {
+    const auto result = EvaluateOnBattery(b, battery);
+    EXPECT_TRUE(std::isfinite(result.errors.mean_abs)) << result.method;
+    EXPECT_TRUE(std::isfinite(result.errors.sum_squared)) << result.method;
+  }
+}
+
+TEST_F(EndToEnd, AwareBeatsOblivOnRangeQueries) {
+  // The headline result (Fig. 2): at equal size, structure-aware sampling
+  // has lower range-query error than oblivious sampling. Averaged over
+  // several seeds to keep the test stable.
+  Rng rng(3);
+  const auto battery =
+      UniformWeightQueries(ds_->items, *part_, 25, 5, 5, &rng);
+  MethodSet methods;
+  methods.wavelet = methods.qdigest = false;
+  double aware_total = 0.0, obliv_total = 0.0;
+  for (int seed = 0; seed < 5; ++seed) {
+    const auto built = BuildMethods(*ds_, 400, methods, 100 + seed);
+    aware_total += MeanAbs(*ds_, battery, built[0]);
+    obliv_total += MeanAbs(*ds_, battery, built[1]);
+  }
+  EXPECT_LT(aware_total, obliv_total)
+      << "aware=" << aware_total / 5 << " obliv=" << obliv_total / 5;
+}
+
+TEST_F(EndToEnd, SampleErrorShrinksWithSize) {
+  Rng rng(4);
+  const auto battery =
+      UniformWeightQueries(ds_->items, *part_, 20, 5, 4, &rng);
+  MethodSet methods;
+  methods.wavelet = methods.qdigest = false;
+  double err_small = 0.0, err_large = 0.0;
+  for (int seed = 0; seed < 3; ++seed) {
+    err_small +=
+        MeanAbs(*ds_, battery, BuildMethods(*ds_, 50, methods, seed)[0]);
+    err_large +=
+        MeanAbs(*ds_, battery, BuildMethods(*ds_, 1000, methods, seed)[0]);
+  }
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST_F(EndToEnd, QDigestWorseThanSamplingOnUniformWeightQueries) {
+  // Fig. 2(b): on uniform-weight queries the q-digest error is far above
+  // the sampling methods.
+  Rng rng(5);
+  const auto battery =
+      UniformWeightQueries(ds_->items, *part_, 20, 10, 6, &rng);
+  const auto built = BuildMethods(*ds_, 300, MethodSet{}, 6);
+  const double aware = MeanAbs(*ds_, battery, built[0]);
+  const double qdig = MeanAbs(*ds_, battery, built[3]);
+  EXPECT_LT(aware, qdig);
+}
+
+TEST_F(EndToEnd, TechTicketPipelineRuns) {
+  TechTicketConfig cfg;
+  cfg.num_codes = 200;
+  cfg.num_locations = 1000;
+  cfg.num_pairs = 6000;
+  cfg.bits = 14;
+  cfg.seed = 8;
+  const auto ds = GenerateTechTicket(cfg);
+  const WeightPartition part(ds.items, ds.domain);
+  Rng rng(9);
+  const auto battery = UniformWeightQueries(ds.items, part, 10, 5, 4, &rng);
+  const auto built = BuildMethods(ds, 200, MethodSet{}, 10);
+  ASSERT_EQ(built.size(), 4u);
+  for (const auto& b : built) {
+    const auto result = EvaluateOnBattery(b, battery);
+    EXPECT_TRUE(std::isfinite(result.errors.mean_abs)) << result.method;
+  }
+}
+
+TEST_F(EndToEnd, SamplesAnswerArbitrarySubsetQueries) {
+  // Flexibility: a sample answers non-range queries (here: "all keys whose
+  // source is even") with small relative error; dedicated summaries cannot.
+  MethodSet methods;
+  methods.wavelet = methods.qdigest = false;
+  Weight truth = 0.0;
+  for (const auto& it : ds_->items) {
+    if (it.pt.x % 2 == 0) truth += it.weight;
+  }
+  double est_total = 0.0;
+  const int seeds = 10;
+  for (int seed = 0; seed < seeds; ++seed) {
+    const auto built = BuildMethods(*ds_, 500, methods, 200 + seed);
+    const auto* aware =
+        dynamic_cast<const SampleSummary*>(built[0].summary.get());
+    ASSERT_NE(aware, nullptr);
+    est_total += aware->sample().EstimateSubset(
+        [](const WeightedKey& k) { return k.pt.x % 2 == 0; });
+  }
+  EXPECT_NEAR(est_total / seeds / truth, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace sas

@@ -1,0 +1,100 @@
+#include "sampling/systematic.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/discrepancy.h"
+#include "core/ipps.h"
+#include "core/random.h"
+#include "structure/order.h"
+
+namespace sas {
+namespace {
+
+std::vector<WeightedKey> MakeItems(const std::vector<Weight>& w) {
+  std::vector<WeightedKey> items(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    items[i] = {static_cast<KeyId>(i), w[i], {static_cast<Coord>(i), 0}};
+  }
+  return items;
+}
+
+TEST(Systematic, SampleSizeFloorOrCeil) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 10 + rng.NextBounded(100);
+    std::vector<Weight> w(n);
+    for (auto& x : w) x = rng.NextPareto(1.3);
+    const double s = 1 + static_cast<double>(rng.NextBounded(n - 1));
+    const Sample sample = SystematicSample(MakeItems(w), s, &rng);
+    EXPECT_GE(sample.size(), static_cast<std::size_t>(s) - 0u);
+    EXPECT_LE(sample.size(), static_cast<std::size_t>(s) + 1u);
+  }
+}
+
+TEST(Systematic, IntervalDiscrepancyBelowOne) {
+  // The defining property of systematic sampling (Appendix D).
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 10 + rng.NextBounded(60);
+    std::vector<Weight> w(n);
+    for (auto& x : w) x = rng.NextPareto(1.2);
+    const double s = 2 + static_cast<double>(rng.NextBounded(8));
+    const auto items = MakeItems(w);
+    const double tau = SolveTau(w, s);
+    std::vector<double> probs;
+    IppsProbabilities(w, tau, &probs);
+
+    const Sample sample = SystematicSample(items, s, &rng);
+    std::vector<KeyId> ids;
+    for (const auto& e : sample.entries()) ids.push_back(e.id);
+    const auto flags = SampleFlags(n, ids);
+    EXPECT_LT(MaxIntervalDiscrepancy(probs, flags), 1.0 + 1e-9)
+        << "n=" << n << " s=" << s;
+  }
+}
+
+TEST(Systematic, InclusionFrequencyMatchesIpps) {
+  const std::vector<Weight> w{8.0, 4.0, 2.0, 1.0, 1.0, 1.0, 1.0};
+  const double s = 3.0;
+  const double tau = SolveTau(w, s);
+  const auto items = MakeItems(w);
+  std::vector<int> hits(w.size(), 0);
+  const int trials = 60000;
+  Rng rng(3);
+  for (int t = 0; t < trials; ++t) {
+    const Sample sample = SystematicSample(items, s, &rng);
+    for (const auto& e : sample.entries()) {
+      hits[e.id]++;
+    }
+  }
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(hits[i]) / trials,
+                IppsProbability(w[i], tau), 0.012)
+        << "key " << i;
+  }
+}
+
+TEST(Systematic, PositiveCorrelationsExist) {
+  // Systematic sampling is NOT VarOpt: distant keys can be positively
+  // correlated. With 4 keys of probability 1/2 and s=2, keys 0 and 2 are
+  // included together with probability 1/2 > p0*p2 = 1/4.
+  const auto items = MakeItems({1.0, 1.0, 1.0, 1.0});
+  Rng rng(4);
+  int both = 0;
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    const Sample sample = SystematicSample(items, 2.0, &rng);
+    bool has0 = false, has2 = false;
+    for (const auto& e : sample.entries()) {
+      has0 |= e.id == 0;
+      has2 |= e.id == 2;
+    }
+    both += has0 && has2;
+  }
+  EXPECT_GT(static_cast<double>(both) / trials, 0.4);  // ~0.5 >> 0.25
+}
+
+}  // namespace
+}  // namespace sas

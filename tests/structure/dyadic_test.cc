@@ -1,0 +1,92 @@
+#include "structure/dyadic.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/random.h"
+
+namespace sas {
+namespace {
+
+TEST(DyadicToInterval, RootAndLeaves) {
+  const Interval root = DyadicToInterval({0, 0}, 4);
+  EXPECT_EQ(root.lo, 0u);
+  EXPECT_EQ(root.hi, 16u);
+  const Interval leaf = DyadicToInterval({4, 7}, 4);
+  EXPECT_EQ(leaf.lo, 7u);
+  EXPECT_EQ(leaf.hi, 8u);
+}
+
+TEST(DyadicAncestorIndex, Works) {
+  EXPECT_EQ(DyadicAncestorIndex(13, 0, 4), 0u);
+  EXPECT_EQ(DyadicAncestorIndex(13, 1, 4), 1u);   // 13 in upper half
+  EXPECT_EQ(DyadicAncestorIndex(13, 4, 4), 13u);  // unit level
+}
+
+TEST(DyadicDecompose, FullDomainIsOnePiece) {
+  const auto parts = DyadicDecompose(0, 16, 4);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].level, 0);
+}
+
+TEST(DyadicDecompose, EmptyRange) {
+  EXPECT_TRUE(DyadicDecompose(5, 5, 4).empty());
+}
+
+TEST(DyadicDecompose, KnownCase) {
+  // [3, 11) over 16: 3 | 4-7 | 8-10 -> [3,4),[4,8),[8,10),[10,11).
+  const auto parts = DyadicDecompose(3, 11, 4);
+  Coord covered = 0;
+  for (const auto& p : parts) covered += DyadicToInterval(p, 4).Length();
+  EXPECT_EQ(covered, 8u);
+  EXPECT_LE(parts.size(), 8u);  // 2 * bits
+}
+
+TEST(DyadicDecompose, ExactDisjointCover) {
+  Rng rng(1);
+  const int bits = 10;
+  const Coord domain = 1 << bits;
+  for (int trial = 0; trial < 200; ++trial) {
+    Coord a = rng.NextBounded(domain);
+    Coord b = rng.NextBounded(domain + 1);
+    if (a > b) std::swap(a, b);
+    const auto parts = DyadicDecompose(a, b, bits);
+    // Disjoint, sorted, covering exactly [a, b).
+    Coord cursor = a;
+    for (const auto& p : parts) {
+      const Interval iv = DyadicToInterval(p, bits);
+      EXPECT_EQ(iv.lo, cursor);
+      cursor = iv.hi;
+    }
+    EXPECT_EQ(cursor, b);
+    EXPECT_LE(parts.size(), 2u * bits);
+  }
+}
+
+TEST(DyadicDecompose, PiecesAreCanonical) {
+  // Each piece must be exactly a dyadic interval: aligned to its size.
+  Rng rng(2);
+  const int bits = 12;
+  for (int trial = 0; trial < 100; ++trial) {
+    Coord a = rng.NextBounded(1 << bits);
+    Coord b = rng.NextBounded((1 << bits) + 1);
+    if (a > b) std::swap(a, b);
+    for (const auto& p : DyadicDecompose(a, b, bits)) {
+      const Interval iv = DyadicToInterval(p, bits);
+      const Coord len = iv.Length();
+      EXPECT_EQ(len & (len - 1), 0u);
+      EXPECT_EQ(iv.lo % len, 0u);
+    }
+  }
+}
+
+TEST(DyadicDecompose, SingleCell) {
+  const auto parts = DyadicDecompose(7, 8, 4);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].level, 4);
+  EXPECT_EQ(parts[0].index, 7u);
+}
+
+}  // namespace
+}  // namespace sas

@@ -1,0 +1,83 @@
+#include "structure/product.h"
+
+#include <gtest/gtest.h>
+
+namespace sas {
+namespace {
+
+TEST(Interval, ContainsAndLength) {
+  const Interval iv{10, 20};
+  EXPECT_TRUE(iv.Contains(10));
+  EXPECT_TRUE(iv.Contains(19));
+  EXPECT_FALSE(iv.Contains(20));
+  EXPECT_FALSE(iv.Contains(9));
+  EXPECT_EQ(iv.Length(), 10u);
+  EXPECT_FALSE(iv.Empty());
+  EXPECT_TRUE((Interval{5, 5}).Empty());
+}
+
+TEST(Box, Contains) {
+  const Box b{{0, 10}, {5, 15}};
+  EXPECT_TRUE(b.Contains({0, 5}));
+  EXPECT_TRUE(b.Contains({9, 14}));
+  EXPECT_FALSE(b.Contains({10, 5}));
+  EXPECT_FALSE(b.Contains({5, 15}));
+}
+
+TEST(IntersectIntervals, Overlapping) {
+  const Interval out = IntersectIntervals({0, 10}, {5, 20});
+  EXPECT_EQ(out.lo, 5u);
+  EXPECT_EQ(out.hi, 10u);
+}
+
+TEST(IntersectIntervals, DisjointGivesEmpty) {
+  const Interval out = IntersectIntervals({0, 5}, {10, 20});
+  EXPECT_TRUE(out.Empty());
+}
+
+TEST(IntersectBoxes, Works) {
+  const Box out = IntersectBoxes({{0, 10}, {0, 10}}, {{5, 15}, {5, 15}});
+  EXPECT_EQ(out.x.lo, 5u);
+  EXPECT_EQ(out.x.hi, 10u);
+  EXPECT_EQ(out.y.lo, 5u);
+  EXPECT_EQ(out.y.hi, 10u);
+}
+
+TEST(IntervalOverlapFraction, Cases) {
+  EXPECT_DOUBLE_EQ(IntervalOverlapFraction({0, 10}, {0, 10}), 1.0);
+  EXPECT_DOUBLE_EQ(IntervalOverlapFraction({0, 10}, {5, 10}), 0.5);
+  EXPECT_DOUBLE_EQ(IntervalOverlapFraction({0, 10}, {20, 30}), 0.0);
+  EXPECT_DOUBLE_EQ(IntervalOverlapFraction({5, 5}, {0, 10}), 0.0);  // empty a
+}
+
+TEST(BoxOverlapFraction, ProductOfAxes) {
+  const Box a{{0, 10}, {0, 10}};
+  const Box b{{5, 10}, {0, 5}};
+  EXPECT_DOUBLE_EQ(BoxOverlapFraction(a, b), 0.25);
+  EXPECT_DOUBLE_EQ(BoxOverlapFraction(a, a), 1.0);
+}
+
+TEST(BoxesIntersect, Cases) {
+  EXPECT_TRUE(BoxesIntersect({{0, 10}, {0, 10}}, {{9, 20}, {9, 20}}));
+  EXPECT_FALSE(BoxesIntersect({{0, 10}, {0, 10}}, {{10, 20}, {0, 10}}));
+  EXPECT_FALSE(BoxesIntersect({{0, 10}, {0, 10}}, {{0, 10}, {10, 20}}));
+}
+
+TEST(AxisDomain, Size) {
+  AxisDomain d;
+  d.bits = 8;
+  EXPECT_EQ(d.size(), 256u);
+}
+
+TEST(ProductDomain2D, FullBox) {
+  ProductDomain2D dom;
+  dom.x.bits = 4;
+  dom.y.bits = 5;
+  const Box full = dom.FullBox();
+  EXPECT_EQ(full.x.hi, 16u);
+  EXPECT_EQ(full.y.hi, 32u);
+  EXPECT_TRUE(full.Contains({15, 31}));
+}
+
+}  // namespace
+}  // namespace sas

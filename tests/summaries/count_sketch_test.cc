@@ -1,0 +1,100 @@
+#include "summaries/count_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/random.h"
+
+namespace sas {
+namespace {
+
+TEST(CountSketch, SizeIsRowsTimesWidth) {
+  const CountSketch cs(5, 128, 1);
+  EXPECT_EQ(cs.size(), 5u * 128u);
+  EXPECT_EQ(cs.rows(), 5u);
+  EXPECT_EQ(cs.width(), 128u);
+}
+
+TEST(CountSketch, SingleItemExact) {
+  CountSketch cs(5, 64, 2);
+  cs.Update(42, 7.5);
+  EXPECT_DOUBLE_EQ(cs.Estimate(42), 7.5);
+}
+
+TEST(CountSketch, AbsentItemNearZero) {
+  CountSketch cs(5, 256, 3);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) cs.Update(i, 1.0);
+  // Median estimate of an absent item should be small.
+  double err = 0.0;
+  for (std::uint64_t q = 1000; q < 1100; ++q) {
+    err += std::fabs(cs.Estimate(q));
+  }
+  EXPECT_LT(err / 100.0, 1.0);
+}
+
+TEST(CountSketch, HeavyHitterAccurate) {
+  CountSketch cs(5, 256, 4);
+  Rng rng(2);
+  cs.Update(7, 1000.0);
+  for (int i = 0; i < 500; ++i) cs.Update(100 + rng.NextBounded(1000), 1.0);
+  EXPECT_NEAR(cs.Estimate(7), 1000.0, 50.0);
+}
+
+TEST(CountSketch, AccumulatesUpdates) {
+  CountSketch cs(3, 64, 5);
+  cs.Update(9, 1.0);
+  cs.Update(9, 2.0);
+  cs.Update(9, 3.5);
+  EXPECT_DOUBLE_EQ(cs.Estimate(9), 6.5);
+}
+
+TEST(CountSketch, NegativeUpdatesSupported) {
+  CountSketch cs(3, 64, 6);
+  cs.Update(9, 5.0);
+  cs.Update(9, -2.0);
+  EXPECT_DOUBLE_EQ(cs.Estimate(9), 3.0);
+}
+
+TEST(CountSketch, UnbiasedOverSeeds) {
+  // Averaged over independent sketches, the estimate of an item is its
+  // true weight (Count-Sketch is unbiased).
+  Rng rng(3);
+  std::vector<std::pair<std::uint64_t, Weight>> data;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    data.push_back({i, rng.NextPareto(1.3)});
+  }
+  const std::uint64_t target = 17;
+  const Weight truth = data[17].second;
+  double total = 0.0;
+  const int trials = 600;
+  for (int t = 0; t < trials; ++t) {
+    CountSketch cs(1, 32, 1000 + t);  // single row: plainly unbiased
+    for (const auto& [k, w] : data) cs.Update(k, w);
+    total += cs.Estimate(target);
+  }
+  EXPECT_NEAR(total / trials, truth, 0.5);
+}
+
+TEST(CountSketch, WiderIsMoreAccurate) {
+  Rng rng(4);
+  std::vector<std::pair<std::uint64_t, Weight>> data;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    data.push_back({i, rng.NextPareto(1.2)});
+  }
+  auto mean_err = [&](std::size_t width) {
+    CountSketch cs(5, width, 12345);
+    for (const auto& [k, w] : data) cs.Update(k, w);
+    double err = 0.0;
+    for (std::uint64_t q = 0; q < 200; ++q) {
+      err += std::fabs(cs.Estimate(q) - data[q].second);
+    }
+    return err / 200.0;
+  };
+  EXPECT_LT(mean_err(4096), mean_err(16));
+}
+
+}  // namespace
+}  // namespace sas

@@ -1,0 +1,111 @@
+#include "summaries/dyadic_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/random.h"
+#include "summaries/exact_summary.h"
+
+namespace sas {
+namespace {
+
+std::vector<WeightedKey> RandomItems(std::size_t n, Coord domain, Rng* rng) {
+  std::set<std::pair<Coord, Coord>> seen;
+  while (seen.size() < n) {
+    seen.insert({rng->NextBounded(domain), rng->NextBounded(domain)});
+  }
+  std::vector<WeightedKey> items;
+  KeyId id = 0;
+  for (const auto& [x, y] : seen) {
+    items.push_back({id++, rng->NextPareto(1.3), {x, y}});
+  }
+  return items;
+}
+
+TEST(DyadicSketch, SizeWithinBudgetOrder) {
+  const DyadicSketch ds(8, 8, 10000, 3, 1);
+  // (8+1)^2 = 81 level pairs, 3 rows each; width = 10000/(81*3) = 41.
+  EXPECT_EQ(ds.size(), 81u * 3u * 41u);
+}
+
+TEST(DyadicSketch, FullDomainQueryIsTotal) {
+  // The (0,0) level-pair sketch holds the single root rectangle: the whole
+  // domain decomposes into exactly one dyadic product, so the estimate of
+  // the full box is exact.
+  Rng rng(1);
+  const auto items = RandomItems(200, 1 << 8, &rng);
+  DyadicSketch ds(8, 8, 50000, 3, 2);
+  for (const auto& it : items) ds.Update(it.pt, it.weight);
+  const Box full{{0, 1 << 8}, {0, 1 << 8}};
+  EXPECT_NEAR(ds.EstimateBox(full), TotalWeight(items), 1e-6);
+}
+
+TEST(DyadicSketch, SingleCellQuery) {
+  DyadicSketch ds(6, 6, 100000, 5, 3);
+  ds.Update({13, 27}, 5.0);
+  EXPECT_NEAR(ds.EstimateBox({{13, 14}, {27, 28}}), 5.0, 1e-9);
+  EXPECT_NEAR(ds.EstimateBox({{14, 15}, {27, 28}}), 0.0, 1e-9);
+}
+
+TEST(DyadicSketch, ReasonableAccuracyWithLargeBudget) {
+  Rng rng(2);
+  const auto items = RandomItems(300, 1 << 6, &rng);
+  DyadicSketch ds(6, 6, 200000, 5, 4);
+  for (const auto& it : items) ds.Update(it.pt, it.weight);
+  const Weight total = TotalWeight(items);
+  double err = 0.0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    Coord x0 = rng.NextBounded(64), x1 = rng.NextBounded(65);
+    Coord y0 = rng.NextBounded(64), y1 = rng.NextBounded(65);
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    const Box box{{x0, x1}, {y0, y1}};
+    err += std::fabs(ds.EstimateBox(box) - ExactBoxSum(items, box));
+  }
+  EXPECT_LT(err / (trials * total), 0.05);
+}
+
+TEST(DyadicSketch, SmallBudgetIsInaccurate) {
+  // The paper's observation: 2-D dyadic sketches need a lot of space
+  // before they are accurate. With a tiny budget the error is large.
+  Rng rng(3);
+  const auto items = RandomItems(500, 1 << 10, &rng);
+  DyadicSketch small(10, 10, 500, 3, 5);
+  DyadicSketch large(10, 10, 500000, 3, 5);
+  for (const auto& it : items) {
+    small.Update(it.pt, it.weight);
+    large.Update(it.pt, it.weight);
+  }
+  const Weight total = TotalWeight(items);
+  double err_small = 0.0, err_large = 0.0;
+  const int trials = 30;
+  Rng qrng(6);
+  for (int t = 0; t < trials; ++t) {
+    Coord x0 = qrng.NextBounded(1 << 10), x1 = qrng.NextBounded((1 << 10) + 1);
+    Coord y0 = qrng.NextBounded(1 << 10), y1 = qrng.NextBounded((1 << 10) + 1);
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    const Box box{{x0, x1}, {y0, y1}};
+    const Weight exact = ExactBoxSum(items, box);
+    err_small += std::fabs(small.EstimateBox(box) - exact);
+    err_large += std::fabs(large.EstimateBox(box) - exact);
+  }
+  EXPECT_LT(err_large / (trials * total), err_small / (trials * total));
+}
+
+TEST(DyadicSketch, QuerySumsBoxes) {
+  DyadicSketch ds(5, 5, 100000, 5, 7);
+  ds.Update({3, 3}, 2.0);
+  ds.Update({20, 20}, 3.0);
+  MultiRangeQuery q;
+  q.boxes.push_back({{0, 8}, {0, 8}});
+  q.boxes.push_back({{16, 24}, {16, 24}});
+  EXPECT_NEAR(ds.EstimateQuery(q), 5.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace sas

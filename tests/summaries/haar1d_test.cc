@@ -1,0 +1,131 @@
+#include "summaries/haar1d.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/random.h"
+
+namespace sas {
+namespace {
+
+TEST(Haar1D, ScalingFunctionConstant) {
+  const Haar1D h(3);  // domain 8
+  const double expect = 1.0 / std::sqrt(8.0);
+  for (Coord x = 0; x < 8; ++x) {
+    EXPECT_DOUBLE_EQ(h.Value(0, x), expect);
+  }
+}
+
+TEST(Haar1D, WaveletSignsAndSupport) {
+  const Haar1D h(3);
+  // Code 1 = psi_{0,0}: support [0,8), + on [0,4), - on [4,8).
+  for (Coord x = 0; x < 4; ++x) EXPECT_GT(h.Value(1, x), 0.0);
+  for (Coord x = 4; x < 8; ++x) EXPECT_LT(h.Value(1, x), 0.0);
+  // Code 5 = psi_{2,1}: support [2,4).
+  EXPECT_DOUBLE_EQ(h.Value(5, 0), 0.0);
+  EXPECT_GT(h.Value(5, 2), 0.0);
+  EXPECT_LT(h.Value(5, 3), 0.0);
+  EXPECT_DOUBLE_EQ(h.Value(5, 4), 0.0);
+}
+
+TEST(Haar1D, Orthonormal) {
+  const int bits = 4;
+  const Haar1D h(bits);
+  const Coord u = h.domain();
+  for (HaarCode a = 0; a < u; ++a) {
+    for (HaarCode b = a; b < u; ++b) {
+      double dot = 0.0;
+      for (Coord x = 0; x < u; ++x) dot += h.Value(a, x) * h.Value(b, x);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9) << a << "," << b;
+    }
+  }
+}
+
+TEST(Haar1D, PointCodesMatchValues) {
+  const Haar1D h(5);
+  std::vector<std::pair<HaarCode, double>> codes;
+  for (Coord x : {0u, 7u, 31u, 16u}) {
+    codes.clear();
+    h.PointCodes(x, &codes);
+    EXPECT_EQ(codes.size(), 6u);  // bits + 1
+    for (const auto& [code, val] : codes) {
+      EXPECT_DOUBLE_EQ(val, h.Value(code, x)) << "code " << code;
+      EXPECT_NE(val, 0.0);
+    }
+  }
+}
+
+TEST(Haar1D, PointCodesCoverAllNonzeroFunctions) {
+  const Haar1D h(4);
+  for (Coord x = 0; x < 16; ++x) {
+    std::vector<std::pair<HaarCode, double>> codes;
+    h.PointCodes(x, &codes);
+    std::vector<char> listed(16, 0);
+    for (const auto& [code, val] : codes) {
+      (void)val;
+      listed[code] = 1;
+    }
+    for (HaarCode c = 0; c < 16; ++c) {
+      if (h.Value(c, x) != 0.0) {
+        EXPECT_TRUE(listed[c]) << "x=" << x << " code=" << c;
+      } else {
+        EXPECT_FALSE(listed[c]);
+      }
+    }
+  }
+}
+
+TEST(Haar1D, IntegralMatchesBruteForce) {
+  const int bits = 5;
+  const Haar1D h(bits);
+  Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const HaarCode code = rng.NextBounded(32);
+    Coord a = rng.NextBounded(33);
+    Coord b = rng.NextBounded(33);
+    if (a > b) std::swap(a, b);
+    double brute = 0.0;
+    for (Coord x = a; x < b; ++x) brute += h.Value(code, x);
+    EXPECT_NEAR(h.Integral(code, a, b), brute, 1e-9)
+        << "code=" << code << " [" << a << "," << b << ")";
+  }
+}
+
+TEST(Haar1D, IntegralOverSupportIsZeroForWavelets) {
+  const Haar1D h(6);
+  for (HaarCode code = 1; code < 64; ++code) {
+    const Interval sup = h.Support(code);
+    EXPECT_NEAR(h.Integral(code, sup.lo, sup.hi), 0.0, 1e-12);
+  }
+}
+
+TEST(Haar1D, SupportSizes) {
+  const Haar1D h(4);
+  EXPECT_EQ(h.Support(0).Length(), 16u);
+  EXPECT_EQ(h.Support(1).Length(), 16u);  // level 0 wavelet
+  EXPECT_EQ(h.Support(2).Length(), 8u);   // level 1
+  EXPECT_EQ(h.Support(8).Length(), 2u);   // level 3
+}
+
+TEST(Haar1D, ReconstructionFromAllCoefficients) {
+  // f(x) -> coefficients -> f(x) must be exact.
+  const int bits = 4;
+  const Haar1D h(bits);
+  Rng rng(2);
+  std::vector<double> f(16);
+  for (auto& v : f) v = rng.NextDouble() * 10.0;
+  std::vector<double> coeff(16, 0.0);
+  for (HaarCode c = 0; c < 16; ++c) {
+    for (Coord x = 0; x < 16; ++x) coeff[c] += f[x] * h.Value(c, x);
+  }
+  for (Coord x = 0; x < 16; ++x) {
+    double rec = 0.0;
+    for (HaarCode c = 0; c < 16; ++c) rec += coeff[c] * h.Value(c, x);
+    EXPECT_NEAR(rec, f[x], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sas

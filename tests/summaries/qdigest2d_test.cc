@@ -1,0 +1,118 @@
+#include "summaries/qdigest2d.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/random.h"
+#include "summaries/exact_summary.h"
+
+namespace sas {
+namespace {
+
+std::vector<WeightedKey> RandomItems(std::size_t n, Coord domain, Rng* rng) {
+  std::set<std::pair<Coord, Coord>> seen;
+  while (seen.size() < n) {
+    seen.insert({rng->NextBounded(domain), rng->NextBounded(domain)});
+  }
+  std::vector<WeightedKey> items;
+  KeyId id = 0;
+  for (const auto& [x, y] : seen) {
+    items.push_back({id++, rng->NextPareto(1.3), {x, y}});
+  }
+  return items;
+}
+
+TEST(QDigest2D, TotalWeightConserved) {
+  Rng rng(1);
+  const auto items = RandomItems(500, 1 << 10, &rng);
+  const Weight total = TotalWeight(items);
+  const QDigest2D qd(items, 64.0, 10, 10);
+  double mat = 0.0;
+  for (const auto& e : qd.nodes()) mat += e.weight;
+  EXPECT_NEAR(mat, total, 1e-9);
+  const Box full{{0, 1 << 10}, {0, 1 << 10}};
+  EXPECT_NEAR(qd.EstimateBox(full), total, 1e-6);
+}
+
+TEST(QDigest2D, SizeBoundedByCompression) {
+  Rng rng(2);
+  const auto items = RandomItems(2000, 1 << 12, &rng);
+  for (double k : {32.0, 128.0, 512.0}) {
+    const QDigest2D qd(items, k, 12, 12);
+    EXPECT_LE(qd.size(), static_cast<std::size_t>(k) + 1);
+    EXPECT_GE(qd.size(), 1u);
+  }
+}
+
+TEST(QDigest2D, NodesAreValidBoxes) {
+  Rng rng(3);
+  const auto items = RandomItems(300, 1 << 8, &rng);
+  const QDigest2D qd(items, 64.0, 8, 8);
+  for (const auto& e : qd.nodes()) {
+    EXPECT_FALSE(e.cell.Empty());
+    EXPECT_GT(e.weight, 0.0);
+    // Dyadic cells: power-of-two side lengths, aligned.
+    const Coord lx = e.cell.x.Length(), ly = e.cell.y.Length();
+    EXPECT_EQ(lx & (lx - 1), 0u);
+    EXPECT_EQ(ly & (ly - 1), 0u);
+    EXPECT_EQ(e.cell.x.lo % lx, 0u);
+    EXPECT_EQ(e.cell.y.lo % ly, 0u);
+  }
+}
+
+TEST(QDigest2D, HeavyPointLocalized) {
+  std::vector<WeightedKey> items{{0, 1000.0, {100, 200}}};
+  Rng rng(4);
+  for (KeyId i = 1; i <= 50; ++i) {
+    items.push_back({i, 0.01, {rng.NextBounded(256), rng.NextBounded(256)}});
+  }
+  const QDigest2D qd(items, 32.0, 8, 8);
+  EXPECT_NEAR(qd.EstimateBox({{100, 101}, {200, 201}}), 1000.0, 1.0);
+}
+
+TEST(QDigest2D, LargerKIsMoreAccurate) {
+  Rng rng(5);
+  const auto items = RandomItems(2000, 1 << 9, &rng);
+  const Weight total = TotalWeight(items);
+  Rng qrng(77);
+  std::vector<Box> boxes;
+  for (int i = 0; i < 50; ++i) {
+    Coord x0 = qrng.NextBounded(512), x1 = qrng.NextBounded(513);
+    Coord y0 = qrng.NextBounded(512), y1 = qrng.NextBounded(513);
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    boxes.push_back({{x0, x1}, {y0, y1}});
+  }
+  auto mean_err = [&](double k) {
+    const QDigest2D qd(items, k, 9, 9);
+    double err = 0.0;
+    for (const auto& b : boxes) {
+      err += std::fabs(qd.EstimateBox(b) - ExactBoxSum(items, b));
+    }
+    return err / (boxes.size() * total);
+  };
+  EXPECT_LT(mean_err(1024.0), mean_err(16.0));
+}
+
+TEST(QDigest2D, EmptyData) {
+  const QDigest2D qd({}, 16.0, 8, 8);
+  EXPECT_EQ(qd.size(), 0u);
+  EXPECT_DOUBLE_EQ(qd.EstimateBox({{0, 256}, {0, 256}}), 0.0);
+}
+
+TEST(QDigest2D, UnequalAxisBits) {
+  Rng rng(6);
+  std::vector<WeightedKey> items;
+  for (KeyId i = 0; i < 200; ++i) {
+    items.push_back({i, 1.0, {rng.NextBounded(1 << 10), rng.NextBounded(1 << 4)}});
+  }
+  const QDigest2D qd(items, 64.0, 10, 4);
+  const Box full{{0, 1 << 10}, {0, 1 << 4}};
+  EXPECT_NEAR(qd.EstimateBox(full), 200.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace sas

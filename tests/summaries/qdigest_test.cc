@@ -1,0 +1,103 @@
+#include "summaries/qdigest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/random.h"
+
+namespace sas {
+namespace {
+
+TEST(QDigest, TotalWeightConserved) {
+  Rng rng(1);
+  std::vector<std::pair<Coord, Weight>> data;
+  double total = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const Weight w = rng.NextPareto(1.3);
+    data.push_back({rng.NextBounded(1 << 16), w});
+    total += w;
+  }
+  const QDigest qd(data, 64.0, 16);
+  EXPECT_NEAR(qd.total_weight(), total, 1e-9);
+  // All materialized mass sums to the total.
+  double mat = 0.0;
+  for (const auto& e : qd.nodes()) mat += e.weight;
+  EXPECT_NEAR(mat, total, 1e-9);
+  // Full-range query returns the total.
+  EXPECT_NEAR(qd.RangeSum(0, 1 << 16), total, 1e-6);
+}
+
+TEST(QDigest, SizeBoundedByCompression) {
+  Rng rng(2);
+  std::vector<std::pair<Coord, Weight>> data;
+  for (int i = 0; i < 2000; ++i) {
+    data.push_back({rng.NextBounded(1 << 20), rng.NextPareto(1.2)});
+  }
+  for (double k : {16.0, 64.0, 256.0}) {
+    const QDigest qd(data, k, 20);
+    // <= k materialized heavy nodes plus <= 1 root residual per level path;
+    // the construction guarantees <= k + 1.
+    EXPECT_LE(qd.size(), static_cast<std::size_t>(k) + 1);
+  }
+}
+
+TEST(QDigest, LargerKIsMoreAccurate) {
+  Rng rng(3);
+  std::vector<std::pair<Coord, Weight>> data;
+  double total = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    const Weight w = rng.NextPareto(1.1);
+    data.push_back({rng.NextBounded(1 << 14), w});
+    total += w;
+  }
+  auto mean_err = [&](double k) {
+    const QDigest qd(data, k, 14);
+    Rng qrng(99);
+    double err = 0.0;
+    const int trials = 100;
+    for (int t = 0; t < trials; ++t) {
+      Coord a = qrng.NextBounded(1 << 14), b = qrng.NextBounded((1 << 14) + 1);
+      if (a > b) std::swap(a, b);
+      double exact = 0.0;
+      for (const auto& [c, w] : data) exact += (c >= a && c < b) ? w : 0.0;
+      err += std::fabs(qd.RangeSum(a, b) - exact);
+    }
+    return err / (trials * total);
+  };
+  EXPECT_LT(mean_err(512.0), mean_err(8.0));
+}
+
+TEST(QDigest, PointMassExact) {
+  // One huge key: it must be materialized at a deep (precise) node.
+  std::vector<std::pair<Coord, Weight>> data{{100, 1000.0}};
+  for (Coord c = 0; c < 50; ++c) data.push_back({c, 0.01});
+  const QDigest qd(data, 32.0, 10);
+  EXPECT_NEAR(qd.RangeSum(100, 101), 1000.0, 1.0);
+  EXPECT_NEAR(qd.RangeSum(0, 100), 0.5, 0.5);
+}
+
+TEST(QDigest, RankMonotone) {
+  Rng rng(4);
+  std::vector<std::pair<Coord, Weight>> data;
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back({rng.NextBounded(1 << 12), 1.0});
+  }
+  const QDigest qd(data, 64.0, 12);
+  double prev = -1.0;
+  for (Coord x = 0; x <= (1 << 12); x += 64) {
+    const double r = qd.Rank(x);
+    EXPECT_GE(r, prev - 1e-9);
+    prev = r;
+  }
+}
+
+TEST(QDigest, EmptyData) {
+  const QDigest qd({}, 16.0, 8);
+  EXPECT_EQ(qd.size(), 0u);
+  EXPECT_DOUBLE_EQ(qd.RangeSum(0, 256), 0.0);
+}
+
+}  // namespace
+}  // namespace sas

@@ -1,0 +1,90 @@
+#include "summaries/wavelet1d.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/random.h"
+
+namespace sas {
+namespace {
+
+TEST(Wavelet1D, ExactWithAllCoefficients) {
+  Rng rng(1);
+  std::vector<std::pair<Coord, Weight>> data;
+  for (int i = 0; i < 100; ++i) {
+    data.push_back({rng.NextBounded(256), rng.NextPareto(1.3)});
+  }
+  const Wavelet1D wv(data, 1 << 20, 8);
+  for (int trial = 0; trial < 100; ++trial) {
+    Coord a = rng.NextBounded(256), b = rng.NextBounded(257);
+    if (a > b) std::swap(a, b);
+    double exact = 0.0;
+    for (const auto& [x, w] : data) exact += (x >= a && x < b) ? w : 0.0;
+    EXPECT_NEAR(wv.RangeSum(a, b), exact, 1e-8);
+  }
+}
+
+TEST(Wavelet1D, ExactPointReconstruction) {
+  std::vector<std::pair<Coord, Weight>> data{{3, 5.0}, {10, 2.0}, {3, 1.0}};
+  const Wavelet1D wv(data, 1 << 10, 4);
+  EXPECT_NEAR(wv.EstimatePoint(3), 6.0, 1e-9);
+  EXPECT_NEAR(wv.EstimatePoint(10), 2.0, 1e-9);
+  EXPECT_NEAR(wv.EstimatePoint(7), 0.0, 1e-9);
+}
+
+TEST(Wavelet1D, SizeRespectsBudget) {
+  Rng rng(2);
+  std::vector<std::pair<Coord, Weight>> data;
+  for (int i = 0; i < 500; ++i) {
+    data.push_back({rng.NextBounded(1 << 12), rng.NextPareto(1.2)});
+  }
+  for (std::size_t s : {5u, 20u, 100u}) {
+    EXPECT_LE(Wavelet1D(data, s, 12).size(), s);
+  }
+}
+
+TEST(Wavelet1D, TotalMassKeptEvenAtTinySize) {
+  // The influence ranking must keep the coarse (scaling) coefficient, so
+  // the full-domain query stays near-exact even with few coefficients.
+  Rng rng(3);
+  std::vector<std::pair<Coord, Weight>> data;
+  double total = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const Weight w = rng.NextPareto(1.2);
+    data.push_back({rng.NextBounded(1 << 14), w});
+    total += w;
+  }
+  const Wavelet1D wv(data, 10, 14);
+  EXPECT_NEAR(wv.RangeSum(0, 1 << 14) / total, 1.0, 0.05);
+}
+
+TEST(Wavelet1D, ErrorShrinksWithSize) {
+  Rng rng(4);
+  std::vector<std::pair<Coord, Weight>> data;
+  double total = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    const Weight w = rng.NextPareto(1.1);
+    data.push_back({rng.NextBounded(1 << 12), w});
+    total += w;
+  }
+  auto mean_err = [&](std::size_t s) {
+    const Wavelet1D wv(data, s, 12);
+    Rng qrng(7);
+    double err = 0.0;
+    const int trials = 60;
+    for (int t = 0; t < trials; ++t) {
+      Coord a = qrng.NextBounded(1 << 12), b = qrng.NextBounded((1 << 12) + 1);
+      if (a > b) std::swap(a, b);
+      double exact = 0.0;
+      for (const auto& [x, w] : data) exact += (x >= a && x < b) ? w : 0.0;
+      err += std::fabs(wv.RangeSum(a, b) - exact);
+    }
+    return err / (trials * total);
+  };
+  EXPECT_LT(mean_err(1000), mean_err(20));
+}
+
+}  // namespace
+}  // namespace sas

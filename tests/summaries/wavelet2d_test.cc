@@ -1,0 +1,116 @@
+#include "summaries/wavelet2d.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/random.h"
+#include "summaries/exact_summary.h"
+
+namespace sas {
+namespace {
+
+std::vector<WeightedKey> RandomItems(std::size_t n, Coord domain, Rng* rng) {
+  std::set<std::pair<Coord, Coord>> seen;
+  while (seen.size() < n) {
+    seen.insert({rng->NextBounded(domain), rng->NextBounded(domain)});
+  }
+  std::vector<WeightedKey> items;
+  KeyId id = 0;
+  for (const auto& [x, y] : seen) {
+    items.push_back({id++, rng->NextPareto(1.3), {x, y}});
+  }
+  return items;
+}
+
+TEST(Wavelet2D, ExactWithAllCoefficients) {
+  // Keeping every coefficient makes range queries exact.
+  Rng rng(1);
+  const auto items = RandomItems(40, 1 << 5, &rng);
+  const Wavelet2D wv(items, 1 << 20, 5, 5);  // keep everything
+  for (int trial = 0; trial < 100; ++trial) {
+    Coord x0 = rng.NextBounded(32), x1 = rng.NextBounded(33);
+    Coord y0 = rng.NextBounded(32), y1 = rng.NextBounded(33);
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    const Box box{{x0, x1}, {y0, y1}};
+    EXPECT_NEAR(wv.EstimateBox(box), ExactBoxSum(items, box), 1e-6);
+  }
+}
+
+TEST(Wavelet2D, ExactPointReconstruction) {
+  Rng rng(2);
+  const auto items = RandomItems(20, 1 << 4, &rng);
+  const Wavelet2D wv(items, 1 << 20, 4, 4);
+  for (const auto& it : items) {
+    EXPECT_NEAR(wv.EstimatePoint(it.pt), it.weight, 1e-8);
+  }
+  EXPECT_NEAR(wv.EstimatePoint({0, 0}), ExactBoxSum(items, {{0, 1}, {0, 1}}),
+              1e-8);
+}
+
+TEST(Wavelet2D, SizeRespectsBudget) {
+  Rng rng(3);
+  const auto items = RandomItems(100, 1 << 10, &rng);
+  for (std::size_t s : {10u, 50u, 200u}) {
+    const Wavelet2D wv(items, s, 10, 10);
+    EXPECT_LE(wv.size(), s);
+  }
+}
+
+TEST(Wavelet2D, DenseCoefficientCount) {
+  // Each point contributes to (bits+1)^2 coefficients; with few points and
+  // little overlap the dense count is near n * (bits+1)^2.
+  Rng rng(4);
+  const auto items = RandomItems(10, 1 << 12, &rng);
+  const Wavelet2D wv(items, 100, 12, 12);
+  EXPECT_LE(wv.dense_coefficients(), 10u * 13u * 13u);
+  EXPECT_GE(wv.dense_coefficients(), 13u * 13u);
+}
+
+TEST(Wavelet2D, ErrorShrinksWithMoreCoefficients) {
+  Rng rng(5);
+  const auto items = RandomItems(300, 1 << 8, &rng);
+  const Weight total = TotalWeight(items);
+  std::vector<Box> boxes;
+  for (int i = 0; i < 40; ++i) {
+    Coord x0 = rng.NextBounded(256), x1 = rng.NextBounded(257);
+    Coord y0 = rng.NextBounded(256), y1 = rng.NextBounded(257);
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    boxes.push_back({{x0, x1}, {y0, y1}});
+  }
+  auto mean_err = [&](std::size_t s) {
+    const Wavelet2D wv(items, s, 8, 8);
+    double err = 0.0;
+    for (const auto& b : boxes) {
+      err += std::abs(wv.EstimateBox(b) - ExactBoxSum(items, b));
+    }
+    return err / (boxes.size() * total);
+  };
+  const double e_small = mean_err(50);
+  const double e_large = mean_err(2000);
+  EXPECT_LT(e_large, e_small);
+  EXPECT_LT(e_large, 0.05);
+}
+
+TEST(Wavelet2D, KeepsLargestCoefficients) {
+  // A single huge point must survive aggressive thresholding.
+  std::vector<WeightedKey> items{{0, 1000.0, {3, 5}}, {1, 0.001, {10, 12}}};
+  const Wavelet2D wv(items, 30, 4, 4);
+  EXPECT_NEAR(wv.EstimatePoint({3, 5}), 1000.0, 1.0);
+}
+
+TEST(Wavelet2D, QuerySumsBoxes) {
+  Rng rng(6);
+  const auto items = RandomItems(50, 1 << 6, &rng);
+  const Wavelet2D wv(items, 1 << 20, 6, 6);
+  MultiRangeQuery q;
+  q.boxes.push_back({{0, 16}, {0, 16}});
+  q.boxes.push_back({{32, 64}, {32, 64}});
+  EXPECT_NEAR(wv.EstimateQuery(q), ExactQuerySum(items, q), 1e-6);
+}
+
+}  // namespace
+}  // namespace sas
