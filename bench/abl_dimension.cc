@@ -8,7 +8,8 @@
 #include <cmath>
 #include <set>
 
-#include "aware/kd_nd.h"
+#include "api/registry.h"
+#include "aware/kd_nd.h"  // BoxN / BoxNContains helpers
 #include "core/ipps.h"
 #include "core/pair_aggregate.h"
 #include "eval/table.h"
@@ -83,7 +84,20 @@ int main(int argc, char** argv) {
         return std::sqrt(sq / (trials * boxes.size()));
       };
       const double aware = rms([&] {
-        return ProductSummarizeNd(coords, d, weights, s, &rng).chosen;
+        SummarizerConfig cfg;
+        cfg.s = s;
+        cfg.seed = rng.Next();
+        cfg.structure = StructureSpec::Nd(d);
+        auto builder = MakeSummarizer(keys::kNd, cfg);
+        for (std::size_t i = 0; i < n; ++i) {
+          builder->AddCoords(&coords[i * d], d, weights[i]);
+        }
+        const auto summary = builder->Finalize();
+        std::vector<std::size_t> chosen;
+        for (const auto& e : summary->AsSample()->sample().entries()) {
+          chosen.push_back(e.id);
+        }
+        return chosen;
       });
       const double obliv = rms([&] {
         std::vector<double> work = probs;

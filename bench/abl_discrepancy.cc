@@ -9,9 +9,9 @@
 
 #include <cmath>
 
-#include "aware/hierarchy_summarizer.h"
-#include "aware/order_summarizer.h"
+#include "api/registry.h"
 #include "core/discrepancy.h"
+#include "structure/hierarchy.h"
 #include "core/ipps.h"
 #include "eval/table.h"
 #include "sampling/systematic.h"
@@ -65,7 +65,16 @@ int main(int argc, char** argv) {
       return worst;
     };
 
-    const auto ord = flags_of(OrderSummarize(items, s, &rng).sample);
+    auto registry_sample = [&](const char* key, const StructureSpec& spec) {
+      SummarizerConfig cfg;
+      cfg.s = s;
+      cfg.seed = rng.Next();
+      cfg.structure = spec;
+      return BuildSummary(key, cfg, items)->AsSample()->sample();
+    };
+
+    const auto ord =
+        flags_of(registry_sample(keys::kOrder, StructureSpec::Order()));
     ord_prefix = std::max(ord_prefix, MaxPrefixDiscrepancy(probs, ord));
     ord_interval = std::max(ord_interval, MaxIntervalDiscrepancy(probs, ord));
 
@@ -77,8 +86,8 @@ int main(int argc, char** argv) {
     const auto sys = flags_of(SystematicSample(items, s, &rng));
     sys_interval = std::max(sys_interval, MaxIntervalDiscrepancy(probs, sys));
 
-    const auto hier =
-        flags_of(HierarchySummarize(items, h, s, &rng).sample);
+    const auto hier = flags_of(
+        registry_sample(keys::kHierarchy, StructureSpec::OverHierarchy(&h)));
     hier_node = std::max(hier_node, node_disc(hier));
   }
 

@@ -7,7 +7,7 @@
 
 #include <cmath>
 
-#include "aware/order_summarizer.h"
+#include "api/registry.h"
 #include "core/random.h"
 #include "eval/table.h"
 #include "sampling/varopt_offline.h"
@@ -79,7 +79,12 @@ int main(int argc, char** argv) {
         }
         return est;
       };
-      const Sample aware = OrderSummarize(items, s, &rng).sample;
+      SummarizerConfig cfg;
+      cfg.s = s;
+      cfg.seed = rng.Next();
+      cfg.structure = StructureSpec::Order();
+      const Sample aware =
+          BuildSummary(keys::kOrder, cfg, items)->AsSample()->sample();
       const Sample obliv = VarOptOffline(items, s, &rng);
       err_aware += std::fabs(query_sample(aware) - exact);
       err_obliv += std::fabs(query_sample(obliv) - exact);

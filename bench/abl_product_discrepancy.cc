@@ -7,7 +7,7 @@
 #include <cmath>
 #include <set>
 
-#include "aware/product_summarizer.h"
+#include "api/registry.h"
 #include "core/ipps.h"
 #include "eval/table.h"
 #include "sampling/varopt_offline.h"
@@ -68,8 +68,17 @@ int main(int argc, char** argv) {
                     Table::Num(std::sqrt(sq / (trials * boxes.size()))),
                     Table::Num(worst)});
     };
-    measure([&] { return ProductSummarize(items, s, &rng).sample; },
-            "aware_kd");
+    measure(
+        [&] {
+          SummarizerConfig cfg;
+          cfg.s = s;
+          cfg.seed = rng.Next();
+          cfg.structure = StructureSpec::Product();
+          return BuildSummary(keys::kProduct, cfg, items)
+              ->AsSample()
+              ->sample();
+        },
+        "aware_kd");
     measure([&] { return VarOptOffline(items, s, &rng); }, "obliv");
   }
   table.Print();

@@ -3,8 +3,7 @@
 // Measures range-query error of the two-pass product sampler as the factor
 // varies, against the main-memory product sampler as the reference.
 
-#include "aware/product_summarizer.h"
-#include "aware/two_pass.h"
+#include "api/registry.h"
 #include "bench/bench_common.h"
 #include "data/query_gen.h"
 #include "eval/metrics.h"
@@ -24,17 +23,21 @@ int main(int argc, char** argv) {
       ds.items, part, static_cast<int>(args.Get("queries", 40)),
       /*ranges=*/10, /*depth=*/6, &qrng);
 
-  auto eval = [&](auto&& sampler) {
+  auto eval = [&](const char* key, double factor) {
     std::vector<Weight> est, exact;
     const int seeds = 5;
     double mean = 0.0;
     for (int seed = 0; seed < seeds; ++seed) {
-      Rng rng(4000 + seed);
-      const Sample sample = sampler(&rng);
+      SummarizerConfig cfg;
+      cfg.s = static_cast<double>(s);
+      cfg.seed = 4000 + seed;
+      cfg.sprime_factor = factor;
+      cfg.structure = StructureSpec::Product();
+      const auto summary = BuildSummary(key, cfg, ds.items);
       est.clear();
       exact.clear();
       for (const auto& q : battery.queries) {
-        est.push_back(sample.EstimateQuery(q));
+        est.push_back(summary->EstimateQuery(q));
         exact.push_back(q.exact);
       }
       mean += ComputeErrors(est, exact, battery.data_total).mean_abs;
@@ -44,16 +47,10 @@ int main(int argc, char** argv) {
 
   Table table({"scheme", "sprime_factor", "abs_error"});
   for (double factor : {1.0, 2.0, 5.0, 10.0, 20.0}) {
-    TwoPassConfig cfg;
-    cfg.sprime_factor = factor;
-    const double err = eval([&](Rng* rng) {
-      return TwoPassProductSample(ds.items, static_cast<double>(s), cfg, rng);
-    });
+    const double err = eval(keys::kAware, factor);
     table.AddRow({"two_pass", Table::Num(factor), Table::Num(err)});
   }
-  const double mm = eval([&](Rng* rng) {
-    return ProductSummarize(ds.items, static_cast<double>(s), rng).sample;
-  });
+  const double mm = eval(keys::kProduct, /*factor=*/5.0);
   table.AddRow({"main_memory", "-", Table::Num(mm)});
   table.Print();
   return 0;

@@ -22,8 +22,7 @@ int main(int argc, char** argv) {
       ds.items, ds.domain, static_cast<int>(args.Get("queries", 50)),
       /*ranges=*/25, /*max_frac=*/0.3, &qrng);
 
-  MethodSet methods;
-  methods.sketch = args.Get("sketch", 1) != 0;
+  const auto methods = DefaultMethods(args.Get("sketch", 1) != 0);
   Table table({"size", "method", "abs_error", "max_error", "build_s"});
   for (std::size_t s : bench::SizeSweep(args)) {
     const auto built = BuildMethods(ds, s, methods, 2000 + s);

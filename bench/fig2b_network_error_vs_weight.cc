@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const WeightPartition part(ds.items, ds.domain);
   const std::size_t s = static_cast<std::size_t>(args.Get("s", 2700));
 
-  const auto built = BuildMethods(ds, s, MethodSet{}, 77);
+  const auto built = BuildMethods(ds, s, DefaultMethods(), 77);
   Table table({"query_weight", "method", "abs_error", "rel_error"});
   // Depth d cells hold ~ W/2^d; a 10-range query has weight ~ 10/2^d of
   // the data. Sweep depth to sweep query weight.

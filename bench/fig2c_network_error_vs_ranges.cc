@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   const WeightPartition part(ds.items, ds.domain);
   const std::size_t s = static_cast<std::size_t>(args.Get("s", 2700));
 
-  const auto built = BuildMethods(ds, s, MethodSet{}, 78);
+  const auto built = BuildMethods(ds, s, DefaultMethods(), 78);
   Table table({"ranges", "mean_weight", "method", "abs_error"});
   // ranges * 2^-depth ~ 0.12 => depth = log2(ranges / 0.12).
   for (int ranges : {1, 2, 4, 8, 16, 32, 64}) {

@@ -14,8 +14,7 @@ int main(int argc, char** argv) {
   const Dataset2D ds = bench::BenchTechTicket(args);
   const double n = static_cast<double>(ds.items.size());
 
-  MethodSet methods;
-  methods.sketch = true;
+  const auto methods = DefaultMethods(/*include_sketch=*/true);
   Table table({"size", "method", "items_per_s", "build_s"});
   for (std::size_t s : bench::SizeSweep(args)) {
     const auto built = BuildMethods(ds, s, methods, 6000 + s);

@@ -25,8 +25,7 @@ int main(int argc, char** argv) {
   for (const auto& q : battery.queries) rects += q.boxes.size();
   std::printf("battery: %zu rectangles\n", rects);
 
-  MethodSet methods;
-  methods.sketch = true;
+  const auto methods = DefaultMethods(/*include_sketch=*/true);
   Table table({"size", "method", "query_s", "rects_per_s"});
   for (std::size_t s : bench::SizeSweep(args)) {
     const auto built = BuildMethods(ds, s, methods, 7000 + s);

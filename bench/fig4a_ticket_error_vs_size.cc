@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
 
   Table table({"size", "method", "abs_error", "max_error"});
   for (std::size_t s : bench::SizeSweep(args)) {
-    const auto built = BuildMethods(ds, s, MethodSet{}, 8000 + s);
+    const auto built = BuildMethods(ds, s, DefaultMethods(), 8000 + s);
     for (const auto& b : built) {
       const auto r = EvaluateOnBattery(b, battery);
       table.AddRow({Table::Int(s), r.method, Table::Num(r.errors.mean_abs),

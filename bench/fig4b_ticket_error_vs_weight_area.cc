@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
               "(uniform-area queries, 25 ranges, fixed size) ===\n");
   const Dataset2D ds = bench::BenchTechTicket(args);
   const std::size_t s = static_cast<std::size_t>(args.Get("s", 2700));
-  const auto built = BuildMethods(ds, s, MethodSet{}, 88);
+  const auto built = BuildMethods(ds, s, DefaultMethods(), 88);
 
   Table table({"area_frac", "mean_weight", "method", "abs_error"});
   // Sweep rectangle scale to sweep query weight.

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   const Dataset2D ds = bench::BenchTechTicket(args);
   const WeightPartition part(ds.items, ds.domain);
   const std::size_t s = static_cast<std::size_t>(args.Get("s", 2700));
-  const auto built = BuildMethods(ds, s, MethodSet{}, 89);
+  const auto built = BuildMethods(ds, s, DefaultMethods(), 89);
 
   Table table({"query_weight", "method", "abs_error", "rel_error"});
   for (int depth = 12; depth >= 4; --depth) {

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "api/registry.h"
 #include "aware/kd_hierarchy.h"
 #include "aware/two_pass.h"
 #include "core/ipps.h"
@@ -116,13 +117,29 @@ void BM_TwoPassBuild(benchmark::State& state) {
                 {rng.NextBounded(1 << 20), rng.NextBounded(1 << 20)}};
   }
   for (auto _ : state) {
-    Rng local(state.iterations());
-    benchmark::DoNotOptimize(
-        TwoPassProductSample(items, 1000.0, TwoPassConfig{}, &local));
+    SummarizerConfig cfg;
+    cfg.s = 1000.0;
+    cfg.seed = state.iterations();
+    auto builder = MakeSummarizer(keys::kAware, cfg);
+    builder->AddBatch(items);
+    benchmark::DoNotOptimize(builder->Finalize());
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_TwoPassBuild);
+
+void BM_RegistryMake(benchmark::State& state) {
+  // Per-build overhead of the registry factory path (lookup + validation +
+  // builder allocation) — the cost every call site pays over calling the
+  // underlying function directly.
+  SummarizerConfig cfg;
+  cfg.s = 1000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeSummarizer(keys::kProduct, cfg));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryMake);
 
 }  // namespace
 }  // namespace sas

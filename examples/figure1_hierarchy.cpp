@@ -1,5 +1,7 @@
 // Reproduces the worked example of Figure 1: structure-aware VarOpt
-// sampling over a hierarchy of 10 keys with sample size 4.
+// sampling over a hierarchy of 10 keys with sample size 4, built through
+// the registry API. Exits nonzero if any node violates the floor/ceiling
+// guarantee, so CI can smoke-test it.
 //
 // The paper's IPPS probabilities are (0.3, 0.6, 0.4, 0.7, 0.1, 0.8, 0.4,
 // 0.2, 0.3, 0.2); every internal node must end up with the floor or the
@@ -11,8 +13,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "aware/hierarchy_summarizer.h"
-#include "core/ipps.h"
+#include "api/registry.h"
+#include "structure/hierarchy.h"
 
 int main() {
   using namespace sas;
@@ -28,37 +30,44 @@ int main() {
   const std::vector<int> parent{-1, 0, 0, 0, 0, 0, 1, 1, 2, 2, 4, 4, 5, 5, 5};
   const Hierarchy h = Hierarchy::FromParents(parent);
 
-  const double s = 4.0;
-  Rng rng(1);
-  const SummarizeResult result = HierarchySummarize(items, h, s, &rng);
+  SummarizerConfig cfg;
+  cfg.s = 4.0;
+  cfg.seed = 1;
+  cfg.structure = StructureSpec::OverHierarchy(&h);
+  auto builder = MakeSummarizer(keys::kHierarchy, cfg);
+  builder->AddBatch(items);
+  const auto summary = builder->Finalize();
+  const SampleSummary& result = *summary->AsSample();
 
   std::printf("leaf :");
   for (KeyId k = 0; k < 10; ++k) std::printf(" %4u", k + 1);
   std::printf("\nIPPS :");
-  for (double p : result.probs) std::printf(" %4.1f", p);
+  for (double p : result.probs()) std::printf(" %4.1f", p);
   std::printf("\npick :");
   std::vector<char> chosen(10, 0);
-  for (const auto& e : result.sample.entries()) chosen[e.id] = 1;
+  for (const auto& e : result.sample().entries()) chosen[e.id] = 1;
   for (KeyId k = 0; k < 10; ++k) std::printf(" %4c", chosen[k] ? '*' : '.');
   std::printf("\n\nsample size: %zu (expected exactly 4)\n",
-              result.sample.size());
+              result.sample().size());
 
+  bool ok = result.sample().size() == 4;
   std::printf("\nper-node sample counts vs expectations:\n");
   for (int v = 0; v < h.num_nodes(); ++v) {
     if (h.is_leaf(v)) continue;
     double expect = 0.0;
     int actual = 0;
     for (std::size_t r = h.leaf_begin(v); r < h.leaf_end(v); ++r) {
-      expect += result.probs[h.key_at_rank(r)];
+      expect += result.probs()[h.key_at_rank(r)];
       actual += chosen[h.key_at_rank(r)];
     }
+    const bool floor_or_ceil =
+        actual == static_cast<int>(std::floor(expect)) ||
+        actual == static_cast<int>(std::ceil(expect));
+    ok = ok && floor_or_ceil;
     std::printf("  node %2d covers leaves %zu..%zu: expected %.1f, got %d "
                 "(floor/ceil: %s)\n",
                 v, h.leaf_begin(v) + 1, h.leaf_end(v), expect, actual,
-                (actual == static_cast<int>(std::floor(expect)) ||
-                 actual == static_cast<int>(std::ceil(expect)))
-                    ? "yes"
-                    : "NO — bug!");
+                floor_or_ceil ? "yes" : "NO — bug!");
   }
-  return 0;
+  return ok ? 0 : 1;
 }

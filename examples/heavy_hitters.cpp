@@ -9,9 +9,10 @@
 #include <cmath>
 #include <cstring>
 
-#include "aware/two_pass.h"
+#include "api/registry.h"
 #include "core/sample_queries.h"
 #include "data/network_gen.h"
+#include "structure/hierarchy.h"
 #include "summaries/exact_summary.h"
 
 int main(int argc, char** argv) {
@@ -31,9 +32,12 @@ int main(int argc, char** argv) {
   const Weight total = ds.total_weight();
   std::printf("flow table: %zu pairs, total %.1f\n", ds.items.size(), total);
 
-  Rng rng(5);
-  const Sample sample = TwoPassProductSample(
-      ds.items, static_cast<double>(s), TwoPassConfig{}, &rng);
+  SummarizerConfig scfg;
+  scfg.s = static_cast<double>(s);
+  scfg.seed = 5;
+  scfg.structure = StructureSpec::Product();
+  const auto summary = BuildSummary(keys::kAware, scfg, ds.items);
+  const Sample& sample = summary->AsSample()->sample();
   std::printf("sample: %zu keys\n\n", sample.size());
 
   // Heavy flows: every key above the threshold is a certain inclusion, so

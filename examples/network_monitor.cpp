@@ -9,9 +9,9 @@
 #include <cstdio>
 #include <cstring>
 
-#include "aware/two_pass.h"
+#include "api/registry.h"
 #include "data/network_gen.h"
-#include "sampling/stream_varopt.h"
+#include "structure/hierarchy.h"
 #include "summaries/exact_summary.h"
 
 int main(int argc, char** argv) {
@@ -32,14 +32,19 @@ int main(int argc, char** argv) {
               "%.1f total bytes-weight\n",
               ds.items.size(), ds.total_weight());
 
-  // Build both summaries with two streaming passes / one streaming pass.
-  Rng rng(99);
-  const Sample aware =
-      TwoPassProductSample(ds.items, static_cast<double>(s), TwoPassConfig{},
-                           &rng);
-  StreamVarOpt obliv_sketch(s, rng.Split());
-  for (const auto& it : ds.items) obliv_sketch.Push(it);
-  const Sample obliv = obliv_sketch.ToSample();
+  // Build both summaries through the registry: the two-pass structure-aware
+  // product sampler and the one-pass oblivious VarOpt baseline.
+  auto build = [&](const char* key) {
+    SummarizerConfig cfg2;
+    cfg2.s = static_cast<double>(s);
+    cfg2.seed = 99;
+    cfg2.structure = StructureSpec::Product();
+    return BuildSummary(key, cfg2, ds.items);
+  };
+  const auto aware_summary = build(keys::kAware);
+  const auto obliv_summary = build(keys::kObliv);
+  const Sample& aware = aware_summary->AsSample()->sample();
+  const Sample& obliv = obliv_summary->AsSample()->sample();
   std::printf("summaries: aware=%zu keys, obliv=%zu keys\n\n", aware.size(),
               obliv.size());
 

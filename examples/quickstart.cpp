@@ -1,12 +1,14 @@
 // Quickstart: build a structure-aware sample of a small weighted dataset
-// and answer range and subset queries from it.
+// through the registry API and answer range and subset queries from it.
+// Exits nonzero if any estimate is wildly off, so CI can smoke-test it.
 //
 //   $ ./quickstart
 
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
-#include "aware/product_summarizer.h"
+#include "api/registry.h"
 #include "core/random.h"
 #include "summaries/exact_summary.h"
 
@@ -27,27 +29,45 @@ int main() {
               TotalWeight(data));
 
   // 2. Build a structure-aware VarOpt sample of 500 keys (Section 4 of the
-  //    paper: IPPS probabilities + kd-tree + bottom-up pair aggregation).
-  const SummarizeResult result = ProductSummarize(data, 500.0, &rng);
+  //    paper) through the registry: configure, add, finalize.
+  SummarizerConfig cfg;
+  cfg.s = 500;
+  cfg.seed = 2026;
+  cfg.structure = StructureSpec::Product();
+  auto builder = MakeSummarizer(keys::kProduct, cfg);
+  for (const WeightedKey& k : data) builder->Add(k);
+  const auto summary = builder->Finalize();
+  const SampleSummary& sample = *summary->AsSample();
   std::printf("sample: %zu keys, IPPS threshold tau = %.3f\n",
-              result.sample.size(), result.tau);
+              summary->SizeInElements(), sample.tau());
+
+  bool ok = true;
+  auto check = [&ok](double est, double exact) {
+    const double rel = std::fabs(est - exact) / std::max(exact, 1e-9);
+    if (!std::isfinite(est) || rel > 0.5) ok = false;
+    return 100.0 * (est - exact) / exact;
+  };
 
   // 3. Range query: estimate the weight in a box, compare to the truth.
   const Box box{{1000, 30000}, {5000, 42000}};
-  const Weight est = result.sample.EstimateBox(box);
+  const Weight est = summary->EstimateBox(box);
   const Weight exact = ExactBoxSum(data, box);
   std::printf("box query:    estimate %10.1f   exact %10.1f   error %.2f%%\n",
-              est, exact, 100.0 * (est - exact) / exact);
+              est, exact, check(est, exact));
 
   // 4. Arbitrary subset query — the flexibility dedicated summaries lack.
   const auto pred = [](const WeightedKey& k) { return k.pt.x % 3 == 0; };
-  const Weight est_subset = result.sample.EstimateSubset(pred);
+  const Weight est_subset = sample.sample().EstimateSubset(pred);
   Weight exact_subset = 0.0;
   for (const auto& k : data) {
     if (pred(k)) exact_subset += k.weight;
   }
   std::printf("subset query: estimate %10.1f   exact %10.1f   error %.2f%%\n",
-              est_subset, exact_subset,
-              100.0 * (est_subset - exact_subset) / exact_subset);
+              est_subset, exact_subset, check(est_subset, exact_subset));
+
+  if (!ok) {
+    std::printf("FAIL: an estimate was non-finite or off by > 50%%\n");
+    return 1;
+  }
   return 0;
 }

@@ -1,14 +1,19 @@
 // Tech-ticket drill-down scenario (Section 6.1): summarize customer-care
-// trouble tickets keyed by (trouble code, network location), then drill
-// down the trouble-code hierarchy estimating per-subtree ticket volume
-// from the sample, with exact answers for comparison.
+// trouble tickets keyed by (trouble code, network location) with the
+// two-pass structure-aware sampler from the registry, then drill down the
+// trouble-code hierarchy estimating per-subtree ticket volume from the
+// sample, with exact answers for comparison. Exits nonzero if the
+// drill-down estimates are wildly off, so CI can smoke-test it.
 //
 //   $ ./ticket_explorer [pairs=50000] [s=2000]
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <exception>
+#include <memory>
 
-#include "aware/two_pass.h"
+#include "api/registry.h"
 #include "data/techticket_gen.h"
 #include "summaries/exact_summary.h"
 
@@ -26,11 +31,31 @@ int main(int argc, char** argv) {
   std::printf("ticket table: %zu (code, location) pairs, %.0f tickets\n",
               ds.items.size(), ds.total_weight());
 
-  Rng rng(7);
-  const Sample sample = TwoPassProductSample(
-      ds.items, static_cast<double>(s), TwoPassConfig{}, &rng);
-  std::printf("summary: %zu keys (%.2f%% of the table)\n\n", sample.size(),
-              100.0 * sample.size() / ds.items.size());
+  SummarizerConfig scfg;
+  scfg.s = static_cast<double>(s);
+  scfg.seed = 7;
+  scfg.structure = StructureSpec::Product();
+  std::unique_ptr<RangeSummary> summary;
+  try {
+    summary = BuildSummary(keys::kAware, scfg, ds.items);
+  } catch (const std::exception& e) {
+    std::printf("FAIL: %s\n", e.what());
+    return 1;
+  }
+  std::printf("summary: %zu keys (%.2f%% of the table)\n\n",
+              summary->SizeInElements(),
+              100.0 * summary->SizeInElements() / ds.items.size());
+
+  bool ok = true;
+  // The drill-down follows heavy subtrees, so estimates there must be
+  // reasonably tight; tolerate more noise on light subtrees.
+  auto check = [&ok, &ds](Weight est, Weight exact) {
+    if (!std::isfinite(est)) ok = false;
+    if (exact > 0.02 * ds.total_weight() &&
+        std::fabs(est - exact) / exact > 0.5) {
+      ok = false;
+    }
+  };
 
   // Drill down: at each level of the trouble-code hierarchy, estimate the
   // ticket volume of every child of the current node and descend into the
@@ -46,8 +71,9 @@ int main(int argc, char** argv) {
     Weight best_est = -1.0;
     for (int c : hx.children(node)) {
       const Box box{hx.coord_range(c), {0, ds.domain.y.size()}};
-      const Weight est = sample.EstimateBox(box);
+      const Weight est = summary->EstimateBox(box);
       const Weight exact = ExactBoxSum(ds.items, box);
+      check(est, exact);
       std::printf("    subtree [%10llu, %10llu): est %10.0f  exact %10.0f "
                   " (%+5.1f%%)\n",
                   static_cast<unsigned long long>(hx.coord_range(c).lo),
@@ -65,10 +91,17 @@ int main(int argc, char** argv) {
   // Cross-dimensional slice: tickets for the drilled-down code subtree
   // in the first half of the location space.
   const Box slice{hx.coord_range(node), {0, ds.domain.y.size() / 2}};
-  const Weight est = sample.EstimateBox(slice);
+  const Weight est = summary->EstimateBox(slice);
   const Weight exact = ExactBoxSum(ds.items, slice);
+  check(est, exact);
   std::printf("\nslice query (drilled code subtree x first-half locations): "
               "est %.0f exact %.0f (%+.1f%%)\n",
               est, exact, exact > 0 ? 100.0 * (est - exact) / exact : 0.0);
+
+  if (!ok) {
+    std::printf("FAIL: a drill-down estimate was non-finite or off by > "
+                "50%% on a heavy subtree\n");
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,100 @@
+// RangeSummary adapters over the baseline summaries (Section 6): wavelet,
+// q-digest, dyadic Count-Sketch, and the brute-force exact "summary".
+// These used to live in eval/summary_iface.h with hardcoded name strings;
+// naming is now routed through the registry's canonical keys (api/keys.h)
+// so eval tables and bench CSVs agree on labels.
+
+#ifndef SAS_API_ADAPTERS_H_
+#define SAS_API_ADAPTERS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/keys.h"
+#include "api/summary.h"
+#include "core/types.h"
+#include "summaries/dyadic_sketch.h"
+#include "summaries/exact_summary.h"
+#include "summaries/qdigest2d.h"
+#include "summaries/wavelet2d.h"
+
+namespace sas {
+
+class WaveletSummary : public RangeSummary {
+ public:
+  explicit WaveletSummary(Wavelet2D wavelet) : wavelet_(std::move(wavelet)) {}
+
+  Weight EstimateQuery(const MultiRangeQuery& q) const override {
+    return wavelet_.EstimateQuery(q);
+  }
+  std::size_t SizeInElements() const override { return wavelet_.size(); }
+  std::string Name() const override { return keys::kWavelet; }
+
+  const Wavelet2D& wavelet() const { return wavelet_; }
+
+ private:
+  Wavelet2D wavelet_;
+};
+
+class QDigest2DSummary : public RangeSummary {
+ public:
+  explicit QDigest2DSummary(QDigest2D digest) : digest_(std::move(digest)) {}
+
+  Weight EstimateQuery(const MultiRangeQuery& q) const override {
+    return digest_.EstimateQuery(q);
+  }
+  std::size_t SizeInElements() const override { return digest_.size(); }
+  std::string Name() const override { return keys::kQDigest; }
+
+  const QDigest2D& digest() const { return digest_; }
+
+ private:
+  QDigest2D digest_;
+};
+
+class DyadicSketchSummary : public RangeSummary {
+ public:
+  explicit DyadicSketchSummary(DyadicSketch sketch)
+      : sketch_(std::move(sketch)) {}
+
+  Weight EstimateQuery(const MultiRangeQuery& q) const override {
+    return sketch_.EstimateQuery(q);
+  }
+  std::size_t SizeInElements() const override { return sketch_.size(); }
+  std::string Name() const override { return keys::kSketch; }
+  SummaryInfo Describe() const override {
+    SummaryInfo info = RangeSummary::Describe();
+    info.family = "sketch";
+    return info;
+  }
+
+ private:
+  DyadicSketch sketch_;
+};
+
+/// Brute force over the retained raw data: ground truth for equivalence
+/// tests and a degenerate point of the size/accuracy tradeoff.
+class ExactSummary : public RangeSummary {
+ public:
+  explicit ExactSummary(std::vector<WeightedKey> items)
+      : items_(std::move(items)) {}
+
+  Weight EstimateQuery(const MultiRangeQuery& q) const override {
+    return ExactQuerySum(items_, q);
+  }
+  std::size_t SizeInElements() const override { return items_.size(); }
+  std::string Name() const override { return keys::kExact; }
+  SummaryInfo Describe() const override {
+    SummaryInfo info = RangeSummary::Describe();
+    info.family = "exact";
+    return info;
+  }
+
+ private:
+  std::vector<WeightedKey> items_;
+};
+
+}  // namespace sas
+
+#endif  // SAS_API_ADAPTERS_H_

@@ -1,0 +1,428 @@
+// Built-in Summarizer implementations: adapters that put every method in
+// the library — the in-memory structure-aware samplers, the streaming
+// two-pass constructions, and the Section 6 baselines — behind the uniform
+// Add/AddBatch/Finalize surface of api/summarizer.h. The registry
+// (api/registry.cc) pulls its built-in factory table from here.
+//
+// Determinism contract: a builder seeded with cfg.seed produces exactly the
+// sample a direct call of the underlying function produces with
+// Rng rng(cfg.seed) — the registry equivalence tests pin this.
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/adapters.h"
+#include "api/keys.h"
+#include "api/registry.h"
+#include "api/summarizer.h"
+#include "aware/disjoint_summarizer.h"
+#include "aware/hierarchy_summarizer.h"
+#include "aware/kd_nd.h"
+#include "aware/order_summarizer.h"
+#include "aware/product_summarizer.h"
+#include "aware/two_pass.h"
+#include "core/random.h"
+#include "sampling/stream_varopt.h"
+#include "structure/hierarchy.h"
+
+namespace sas {
+namespace {
+
+[[noreturn]] void InvalidConfig(const char* key, const std::string& why) {
+  throw std::invalid_argument(std::string("MakeSummarizer(\"") + key +
+                              "\"): " + why);
+}
+
+/// Base for methods that need the whole input before building.
+class BufferingSummarizer : public Summarizer {
+ public:
+  using Summarizer::Summarizer;
+
+  void Add(const WeightedKey& item) override { items_.push_back(item); }
+  void AddBatch(std::span<const WeightedKey> items) override {
+    items_.insert(items_.end(), items.begin(), items.end());
+  }
+
+ protected:
+  std::vector<WeightedKey> items_;
+};
+
+// ---------------------------------------------------------------------------
+// In-memory structure-aware samplers (Sections 3 and 4).
+
+class OrderBuilder : public BufferingSummarizer {
+ public:
+  using BufferingSummarizer::BufferingSummarizer;
+  std::unique_ptr<RangeSummary> Finalize() override {
+    Rng rng(cfg_.seed);
+    SummarizeResult r = OrderSummarize(items_, cfg_.s, &rng);
+    return std::make_unique<SampleSummary>(keys::kOrder, std::move(r.sample),
+                                           std::move(r.probs));
+  }
+};
+
+class HierarchyBuilder : public BufferingSummarizer {
+ public:
+  using BufferingSummarizer::BufferingSummarizer;
+  std::unique_ptr<RangeSummary> Finalize() override {
+    const Hierarchy* h = cfg_.structure.hierarchy;
+    if (h->num_keys() != items_.size()) {
+      InvalidConfig(keys::kHierarchy,
+                    "hierarchy has " + std::to_string(h->num_keys()) +
+                        " keys but " + std::to_string(items_.size()) +
+                        " items were added");
+    }
+    Rng rng(cfg_.seed);
+    SummarizeResult r = HierarchySummarize(items_, *h, cfg_.s, &rng);
+    return std::make_unique<SampleSummary>(
+        keys::kHierarchy, std::move(r.sample), std::move(r.probs));
+  }
+};
+
+class DisjointBuilder : public BufferingSummarizer {
+ public:
+  using BufferingSummarizer::BufferingSummarizer;
+  std::unique_ptr<RangeSummary> Finalize() override {
+    if (cfg_.structure.range_of.size() != items_.size()) {
+      InvalidConfig(keys::kDisjoint,
+                    "range_of must have exactly one entry per added item");
+    }
+    Rng rng(cfg_.seed);
+    SummarizeResult r =
+        DisjointSummarize(items_, cfg_.structure.range_of,
+                          cfg_.structure.num_ranges, cfg_.s, &rng);
+    return std::make_unique<SampleSummary>(
+        keys::kDisjoint, std::move(r.sample), std::move(r.probs));
+  }
+};
+
+class ProductBuilder : public BufferingSummarizer {
+ public:
+  using BufferingSummarizer::BufferingSummarizer;
+  std::unique_ptr<RangeSummary> Finalize() override {
+    Rng rng(cfg_.seed);
+    SummarizeResult r = ProductSummarize(items_, cfg_.s, &rng);
+    return std::make_unique<SampleSummary>(keys::kProduct,
+                                           std::move(r.sample),
+                                           std::move(r.probs));
+  }
+};
+
+/// d-dimensional product sampler. Points enter via AddCoords (any d) or via
+/// Add (d <= 2, coordinates taken from the item's Point2D).
+class NdBuilder : public Summarizer {
+ public:
+  explicit NdBuilder(SummarizerConfig cfg) : Summarizer(std::move(cfg)) {}
+
+  void Add(const WeightedKey& item) override {
+    const int dims = cfg_.structure.dims;
+    if (dims > 2) {
+      throw std::logic_error(
+          "nd summarizer: Add carries only 2 coordinates; use AddCoords "
+          "for dims > 2");
+    }
+    if (used_coords_) {
+      throw std::logic_error("nd summarizer: do not mix Add and AddCoords");
+    }
+    coords_.push_back(item.pt.x);
+    if (dims == 2) coords_.push_back(item.pt.y);
+    weights_.push_back(item.weight);
+    originals_.push_back(item);
+  }
+
+  void AddCoords(const Coord* coords, int dims, Weight w) override {
+    if (dims != cfg_.structure.dims) {
+      InvalidConfig(keys::kNd, "AddCoords dims does not match structure");
+    }
+    if (!originals_.empty()) {
+      throw std::logic_error("nd summarizer: do not mix Add and AddCoords");
+    }
+    used_coords_ = true;
+    coords_.insert(coords_.end(), coords, coords + dims);
+    weights_.push_back(w);
+  }
+
+  std::unique_ptr<RangeSummary> Finalize() override {
+    const int dims = cfg_.structure.dims;
+    Rng rng(cfg_.seed);
+    ResultNd r = ProductSummarizeNd(coords_, dims, weights_, cfg_.s, &rng);
+    std::vector<WeightedKey> entries;
+    entries.reserve(r.chosen.size());
+    for (std::size_t i : r.chosen) {
+      if (i < originals_.size()) {
+        entries.push_back(originals_[i]);
+      } else {
+        // Synthesized key for AddCoords input: id = insertion index, point
+        // from the first two axes (queries beyond 2-D go through sample()).
+        WeightedKey k;
+        k.id = static_cast<KeyId>(i);
+        k.weight = weights_[i];
+        k.pt.x = coords_[i * dims];
+        k.pt.y = dims > 1 ? coords_[i * dims + 1] : 0;
+        entries.push_back(k);
+      }
+    }
+    return std::make_unique<SampleSummary>(
+        keys::kNd, Sample(r.tau, std::move(entries)), std::move(r.probs));
+  }
+
+ private:
+  std::vector<Coord> coords_;
+  std::vector<Weight> weights_;
+  std::vector<WeightedKey> originals_;  // empty when fed via AddCoords
+  bool used_coords_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Streaming constructions (Section 5). The product two-pass builder drives
+// the TwoPassProductSampler pass structure directly: pass 1 runs during
+// Add, pass 2 replays the (buffered) stream at Finalize.
+
+class TwoPassProductBuilder : public Summarizer {
+ public:
+  explicit TwoPassProductBuilder(SummarizerConfig cfg)
+      : Summarizer(std::move(cfg)),
+        rng_(cfg_.seed),
+        sampler_(cfg_.s, TwoPassConfig{cfg_.sprime_factor}, rng_.Split()) {}
+
+  void Add(const WeightedKey& item) override {
+    sampler_.Pass1(item);
+    buffer_.push_back(item);
+  }
+
+  std::unique_ptr<RangeSummary> Finalize() override {
+    sampler_.BeginPass2();
+    for (const WeightedKey& it : buffer_) sampler_.Pass2(it);
+    return std::make_unique<SampleSummary>(keys::kAware,
+                                           sampler_.Finalize());
+  }
+
+ private:
+  Rng rng_;
+  TwoPassProductSampler sampler_;
+  std::vector<WeightedKey> buffer_;
+};
+
+class TwoPassOrderBuilder : public BufferingSummarizer {
+ public:
+  using BufferingSummarizer::BufferingSummarizer;
+  std::unique_ptr<RangeSummary> Finalize() override {
+    Rng rng(cfg_.seed);
+    Sample sample = TwoPassOrderSample(
+        items_, cfg_.s, TwoPassConfig{cfg_.sprime_factor}, &rng);
+    return std::make_unique<SampleSummary>(keys::kOrderTwoPass,
+                                           std::move(sample));
+  }
+};
+
+class TwoPassHierarchyBuilder : public BufferingSummarizer {
+ public:
+  using BufferingSummarizer::BufferingSummarizer;
+  std::unique_ptr<RangeSummary> Finalize() override {
+    const Hierarchy* h = cfg_.structure.hierarchy;
+    if (h->num_keys() != items_.size()) {
+      InvalidConfig(keys::kHierarchyTwoPass,
+                    "hierarchy key count does not match items added");
+    }
+    const HierarchyTwoPassVariant variant =
+        cfg_.hierarchy_partition == HierarchyPartition::kAncestors
+            ? HierarchyTwoPassVariant::kAncestors
+            : HierarchyTwoPassVariant::kLinearize;
+    Rng rng(cfg_.seed);
+    Sample sample = TwoPassHierarchySample(
+        items_, *h, cfg_.s, TwoPassConfig{cfg_.sprime_factor}, variant,
+        &rng);
+    return std::make_unique<SampleSummary>(keys::kHierarchyTwoPass,
+                                           std::move(sample));
+  }
+};
+
+class TwoPassDisjointBuilder : public BufferingSummarizer {
+ public:
+  using BufferingSummarizer::BufferingSummarizer;
+  std::unique_ptr<RangeSummary> Finalize() override {
+    if (cfg_.structure.range_of.size() != items_.size()) {
+      InvalidConfig(keys::kDisjointTwoPass,
+                    "range_of must have exactly one entry per added item");
+    }
+    Rng rng(cfg_.seed);
+    Sample sample = TwoPassDisjointSample(
+        items_, cfg_.structure.range_of, cfg_.structure.num_ranges, cfg_.s,
+        TwoPassConfig{cfg_.sprime_factor}, &rng);
+    return std::make_unique<SampleSummary>(keys::kDisjointTwoPass,
+                                           std::move(sample));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Baselines (Section 6).
+
+class OblivBuilder : public Summarizer {
+ public:
+  explicit OblivBuilder(SummarizerConfig cfg)
+      : Summarizer(std::move(cfg)),
+        sketch_(static_cast<std::size_t>(cfg_.s), Rng(cfg_.seed)) {}
+
+  void Add(const WeightedKey& item) override { sketch_.Push(item); }
+
+  std::unique_ptr<RangeSummary> Finalize() override {
+    return std::make_unique<SampleSummary>(keys::kObliv, sketch_.ToSample());
+  }
+
+ private:
+  StreamVarOpt sketch_;
+};
+
+class WaveletBuilder : public BufferingSummarizer {
+ public:
+  using BufferingSummarizer::BufferingSummarizer;
+  std::unique_ptr<RangeSummary> Finalize() override {
+    Wavelet2D wavelet(items_, static_cast<std::size_t>(cfg_.s), cfg_.bits_x,
+                      cfg_.bits_y);
+    return std::make_unique<WaveletSummary>(std::move(wavelet));
+  }
+};
+
+class QDigestBuilder : public BufferingSummarizer {
+ public:
+  using BufferingSummarizer::BufferingSummarizer;
+  std::unique_ptr<RangeSummary> Finalize() override {
+    QDigest2D digest(items_, cfg_.s, cfg_.bits_x, cfg_.bits_y);
+    return std::make_unique<QDigest2DSummary>(std::move(digest));
+  }
+};
+
+class SketchBuilder : public Summarizer {
+ public:
+  explicit SketchBuilder(SummarizerConfig cfg)
+      : Summarizer(std::move(cfg)),
+        sketch_(cfg_.bits_x, cfg_.bits_y, static_cast<std::size_t>(cfg_.s),
+                cfg_.sketch_rows, Rng(cfg_.seed).Next()) {}
+
+  void Add(const WeightedKey& item) override {
+    sketch_.Update(item.pt, item.weight);
+  }
+
+  std::unique_ptr<RangeSummary> Finalize() override {
+    return std::make_unique<DyadicSketchSummary>(std::move(sketch_));
+  }
+
+ private:
+  DyadicSketch sketch_;
+};
+
+class ExactBuilder : public BufferingSummarizer {
+ public:
+  using BufferingSummarizer::BufferingSummarizer;
+  std::unique_ptr<RangeSummary> Finalize() override {
+    return std::make_unique<ExactSummary>(std::move(items_));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Config validation helpers (run at MakeSummarizer time, before building).
+
+void RequireHierarchy(const char* key, const SummarizerConfig& cfg) {
+  if (cfg.structure.hierarchy == nullptr) {
+    InvalidConfig(key, "structure.hierarchy must be set");
+  }
+}
+
+void RequireDisjoint(const char* key, const SummarizerConfig& cfg) {
+  if (cfg.structure.num_ranges <= 0 || cfg.structure.range_of.empty()) {
+    InvalidConfig(key, "structure.range_of / num_ranges must describe the "
+                       "disjoint ranges");
+  }
+}
+
+void RequireDims(const char* key, const SummarizerConfig& cfg) {
+  if (cfg.structure.dims < 1 || cfg.structure.dims > 16) {
+    InvalidConfig(key, "structure.dims must be in [1, 16]");
+  }
+}
+
+/// Methods whose budget is an integral count (reservoir slots, retained
+/// coefficients, counters): fractional s below 1 truncates to a zero
+/// budget, which the underlying classes do not support.
+void RequireWholeBudget(const char* key, const SummarizerConfig& cfg) {
+  if (cfg.s < 1.0) {
+    InvalidConfig(key, "summary size s must be >= 1 for this method");
+  }
+}
+
+void RequireBits(const char* key, const SummarizerConfig& cfg) {
+  if (cfg.bits_x < 1 || cfg.bits_x > 63 || cfg.bits_y < 1 ||
+      cfg.bits_y > 63) {
+    InvalidConfig(key, "bits_x / bits_y must be in [1, 63]");
+  }
+}
+
+template <typename Builder>
+SummarizerFactory Plain() {
+  return [](const SummarizerConfig& cfg) -> std::unique_ptr<Summarizer> {
+    return std::make_unique<Builder>(cfg);
+  };
+}
+
+}  // namespace
+
+namespace internal {
+
+std::vector<std::pair<std::string, SummarizerFactory>> BuiltinSummarizers() {
+  std::vector<std::pair<std::string, SummarizerFactory>> builtins;
+  builtins.emplace_back(keys::kOrder, Plain<OrderBuilder>());
+  builtins.emplace_back(keys::kProduct, Plain<ProductBuilder>());
+  builtins.emplace_back(
+      keys::kHierarchy, [](const SummarizerConfig& cfg) {
+        RequireHierarchy(keys::kHierarchy, cfg);
+        return std::unique_ptr<Summarizer>(new HierarchyBuilder(cfg));
+      });
+  builtins.emplace_back(
+      keys::kDisjoint, [](const SummarizerConfig& cfg) {
+        RequireDisjoint(keys::kDisjoint, cfg);
+        return std::unique_ptr<Summarizer>(new DisjointBuilder(cfg));
+      });
+  builtins.emplace_back(keys::kNd, [](const SummarizerConfig& cfg) {
+    RequireDims(keys::kNd, cfg);
+    return std::unique_ptr<Summarizer>(new NdBuilder(cfg));
+  });
+  builtins.emplace_back(keys::kAware, Plain<TwoPassProductBuilder>());
+  builtins.emplace_back(keys::kOrderTwoPass, Plain<TwoPassOrderBuilder>());
+  builtins.emplace_back(
+      keys::kHierarchyTwoPass, [](const SummarizerConfig& cfg) {
+        RequireHierarchy(keys::kHierarchyTwoPass, cfg);
+        return std::unique_ptr<Summarizer>(new TwoPassHierarchyBuilder(cfg));
+      });
+  builtins.emplace_back(
+      keys::kDisjointTwoPass, [](const SummarizerConfig& cfg) {
+        RequireDisjoint(keys::kDisjointTwoPass, cfg);
+        return std::unique_ptr<Summarizer>(new TwoPassDisjointBuilder(cfg));
+      });
+  builtins.emplace_back(keys::kObliv, [](const SummarizerConfig& cfg) {
+    RequireWholeBudget(keys::kObliv, cfg);
+    return std::unique_ptr<Summarizer>(new OblivBuilder(cfg));
+  });
+  builtins.emplace_back(keys::kWavelet, [](const SummarizerConfig& cfg) {
+    RequireBits(keys::kWavelet, cfg);
+    RequireWholeBudget(keys::kWavelet, cfg);
+    return std::unique_ptr<Summarizer>(new WaveletBuilder(cfg));
+  });
+  builtins.emplace_back(keys::kQDigest, [](const SummarizerConfig& cfg) {
+    RequireBits(keys::kQDigest, cfg);
+    return std::unique_ptr<Summarizer>(new QDigestBuilder(cfg));
+  });
+  builtins.emplace_back(keys::kSketch, [](const SummarizerConfig& cfg) {
+    RequireBits(keys::kSketch, cfg);
+    RequireWholeBudget(keys::kSketch, cfg);
+    return std::unique_ptr<Summarizer>(new SketchBuilder(cfg));
+  });
+  builtins.emplace_back(keys::kExact, Plain<ExactBuilder>());
+  return builtins;
+}
+
+}  // namespace internal
+
+}  // namespace sas

@@ -1,0 +1,34 @@
+// Canonical method keys of the summarizer registry. Every summary built
+// through the public API reports one of these strings from Name(), so eval
+// tables, bench CSVs, and logs agree on labels. Register custom methods
+// under new keys with RegisterSummarizer() (see api/registry.h).
+
+#ifndef SAS_API_KEYS_H_
+#define SAS_API_KEYS_H_
+
+namespace sas::keys {
+
+// Structure-aware samplers (Sections 3-5 of the paper).
+inline constexpr const char kOrder[] = "order";          // in-memory, 1-D order
+inline constexpr const char kHierarchy[] = "hierarchy";  // in-memory, tree
+inline constexpr const char kDisjoint[] = "disjoint";    // in-memory, flat ranges
+inline constexpr const char kProduct[] = "product";      // in-memory, 2-D kd
+inline constexpr const char kNd[] = "nd";                // in-memory, d-dim kd
+
+// Streaming two-pass constructions (Section 5). "aware" is the two-pass
+// product sampler — the configuration the paper's evaluation calls Aware.
+inline constexpr const char kAware[] = "aware";
+inline constexpr const char kOrderTwoPass[] = "order-2p";
+inline constexpr const char kHierarchyTwoPass[] = "hierarchy-2p";
+inline constexpr const char kDisjointTwoPass[] = "disjoint-2p";
+
+// Baselines of the Section 6 evaluation.
+inline constexpr const char kObliv[] = "obliv";      // streaming VarOpt
+inline constexpr const char kWavelet[] = "wavelet";  // 2-D Haar wavelet
+inline constexpr const char kQDigest[] = "qdigest";  // 2-D q-digest
+inline constexpr const char kSketch[] = "sketch";    // dyadic Count-Sketch
+inline constexpr const char kExact[] = "exact";      // brute force (testing)
+
+}  // namespace sas::keys
+
+#endif  // SAS_API_KEYS_H_

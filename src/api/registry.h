@@ -1,0 +1,54 @@
+// String-keyed factory over every summarization method in the library.
+//
+// MakeSummarizer(key, cfg) returns a fresh builder for the method
+// registered under `key` (canonical keys in api/keys.h), validating the
+// configuration eagerly — unknown keys and invalid configs throw
+// std::invalid_argument at construction. Errors only detectable once the
+// input is known (e.g. an item count that does not match the hierarchy or
+// range_of) throw std::invalid_argument from Finalize.
+//
+// The registry is the single place summaries are constructed: the eval
+// harness, every bench driver, and the examples go through it, so new
+// methods (or scale-out wrappers around existing ones) become available to
+// all of them by registering one factory.
+
+#ifndef SAS_API_REGISTRY_H_
+#define SAS_API_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/keys.h"
+#include "api/summarizer.h"
+
+namespace sas {
+
+using SummarizerFactory =
+    std::function<std::unique_ptr<Summarizer>(const SummarizerConfig&)>;
+
+/// Registers a method under `key`. Returns false (and leaves the registry
+/// unchanged) if the key is already taken. Built-in methods are registered
+/// on first use of the registry.
+bool RegisterSummarizer(const std::string& key, SummarizerFactory factory);
+
+/// Creates a builder for the method registered under `key`.
+/// Throws std::invalid_argument for an unknown key or an invalid config
+/// (non-positive size, missing hierarchy, bad dimension/bits, ...).
+std::unique_ptr<Summarizer> MakeSummarizer(const std::string& key,
+                                           const SummarizerConfig& cfg);
+
+/// Convenience one-shot build: MakeSummarizer + AddBatch + Finalize.
+std::unique_ptr<RangeSummary> BuildSummary(const std::string& key,
+                                           const SummarizerConfig& cfg,
+                                           std::span<const WeightedKey> items);
+
+/// All registered keys, sorted.
+std::vector<std::string> RegisteredSummarizers();
+
+bool IsRegisteredSummarizer(const std::string& key);
+
+}  // namespace sas
+
+#endif  // SAS_API_REGISTRY_H_

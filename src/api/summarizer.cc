@@ -1,0 +1,14 @@
+#include "api/summarizer.h"
+
+#include <stdexcept>
+
+namespace sas {
+
+void Summarizer::AddCoords(const Coord* /*coords*/, int /*dims*/,
+                           Weight /*w*/) {
+  throw std::logic_error(
+      "AddCoords is only supported by the \"nd\" summarizer; use Add for "
+      "2-D methods");
+}
+
+}  // namespace sas

@@ -1,0 +1,133 @@
+// Summarizer: the uniform builder behind the public API. Every summary in
+// the library — the in-memory structure-aware samplers (src/aware/), the
+// streaming two-pass constructions, and the baseline summaries — is built
+// by feeding weighted keys into a Summarizer obtained from the registry
+// (api/registry.h) and calling Finalize():
+//
+//   SummarizerConfig cfg;
+//   cfg.s = 500;
+//   auto builder = MakeSummarizer(keys::kProduct, cfg);
+//   for (const WeightedKey& k : data) builder->Add(k);
+//   std::unique_ptr<RangeSummary> summary = builder->Finalize();
+//   Weight est = summary->EstimateBox(box);
+//
+// Because every method hides behind the same Add/Finalize surface, scale-out
+// wrappers (sharded or async backends) can compose in front of any method
+// without touching call sites.
+
+#ifndef SAS_API_SUMMARIZER_H_
+#define SAS_API_SUMMARIZER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "api/summary.h"
+#include "core/types.h"
+
+namespace sas {
+
+class Hierarchy;
+
+/// Describes the structure on the key domain that a structure-aware method
+/// should preserve (Section 2 of the paper). Baseline methods ignore it.
+struct StructureSpec {
+  enum class Kind { kOrder, kHierarchy, kDisjoint, kProduct, kNd };
+
+  Kind kind = Kind::kProduct;
+  /// For kHierarchy: the key hierarchy (not owned; must outlive the
+  /// summarizer). Keys must be added in key-id order, item k at hierarchy
+  /// leaf leaf_of_key(k).
+  const Hierarchy* hierarchy = nullptr;
+  /// For kDisjoint: range_of[i] is the range (in [0, num_ranges)) of the
+  /// i-th item *added*, so it must have exactly one entry per item.
+  /// Add items in key-id order if you want id-keyed semantics.
+  std::vector<int> range_of;
+  int num_ranges = 0;
+  /// For kNd: number of axes (points fed via AddCoords, or via Add when
+  /// dims <= 2).
+  int dims = 2;
+
+  static StructureSpec Order() { return {Kind::kOrder, nullptr, {}, 0, 1}; }
+  static StructureSpec OverHierarchy(const Hierarchy* h) {
+    return {Kind::kHierarchy, h, {}, 0, 1};
+  }
+  static StructureSpec Disjoint(std::vector<int> range_of, int num_ranges) {
+    return {Kind::kDisjoint, nullptr, std::move(range_of), num_ranges, 1};
+  }
+  static StructureSpec Product() { return {}; }
+  static StructureSpec Nd(int dims) {
+    return {Kind::kNd, nullptr, {}, 0, dims};
+  }
+};
+
+/// Which Section 5 partition the two-pass hierarchy construction uses.
+enum class HierarchyPartition {
+  kLinearize,  // totally order keys by DFS rank; Delta < 2 w.h.p.
+  kAncestors,  // cells = lowest guide-selected ancestors; Delta < 1 w.h.p.
+};
+
+/// One configuration struct for every method: target size, seed, structure
+/// descriptor, and per-method options. Unused fields are ignored by methods
+/// they do not apply to.
+struct SummarizerConfig {
+  /// Target summary size s: expected sample size for the samplers, retained
+  /// coefficients for the wavelet, compression parameter for the q-digest,
+  /// counter budget for the sketch.
+  double s = 100.0;
+
+  /// Seed for every random draw of the build; identical (config, input)
+  /// pairs produce identical summaries.
+  std::uint64_t seed = 0x5EEDF00DULL;
+
+  StructureSpec structure;
+
+  /// Two-pass constructions: oversampling factor s' = factor * s for the
+  /// pass-1 guide sample (the paper uses 5).
+  double sprime_factor = 5.0;
+
+  /// Two-pass hierarchy construction: which partition to use.
+  HierarchyPartition hierarchy_partition = HierarchyPartition::kLinearize;
+
+  /// Domain bits per axis, required by the wavelet / q-digest / sketch
+  /// baselines (domain size = 2^bits).
+  int bits_x = 32;
+  int bits_y = 32;
+
+  /// Count-Sketch rows per dyadic level pair (sketch baseline).
+  std::size_t sketch_rows = 3;
+};
+
+/// Uniform builder: feed items with Add/AddBatch (or AddCoords for the
+/// d-dimensional method), then call Finalize() exactly once. A finalized
+/// summarizer is spent; build a new one for the next summary.
+class Summarizer {
+ public:
+  explicit Summarizer(SummarizerConfig cfg) : cfg_(std::move(cfg)) {}
+  virtual ~Summarizer() = default;
+
+  virtual void Add(const WeightedKey& item) = 0;
+
+  /// Adds a contiguous batch; the default loops over Add.
+  virtual void AddBatch(std::span<const WeightedKey> items) {
+    for (const WeightedKey& it : items) Add(it);
+  }
+
+  /// Adds one d-dimensional point (dims coordinates). Only the "nd" method
+  /// supports general d; the default throws std::logic_error.
+  virtual void AddCoords(const Coord* coords, int dims, Weight w);
+
+  virtual std::unique_ptr<RangeSummary> Finalize() = 0;
+
+  const SummarizerConfig& config() const { return cfg_; }
+
+ protected:
+  SummarizerConfig cfg_;
+};
+
+}  // namespace sas
+
+#endif  // SAS_API_SUMMARIZER_H_

@@ -1,0 +1,35 @@
+#include "api/summary.h"
+
+#include <cstdio>
+
+namespace sas {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+SummaryInfo RangeSummary::Describe() const {
+  SummaryInfo info;
+  info.method = Name();
+  info.family = "deterministic";
+  info.size_elements = SizeInElements();
+  return info;
+}
+
+SummaryInfo SampleSummary::Describe() const {
+  SummaryInfo info;
+  info.method = Name();
+  info.family = "sample";
+  info.size_elements = SizeInElements();
+  info.params.emplace_back("tau", FormatDouble(tau()));
+  info.params.emplace_back("has_probs", probs_.empty() ? "false" : "true");
+  return info;
+}
+
+}  // namespace sas

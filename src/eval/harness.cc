@@ -1,62 +1,36 @@
 #include "eval/harness.h"
 
-#include "aware/two_pass.h"
+#include "api/keys.h"
 #include "core/random.h"
-#include "sampling/stream_varopt.h"
 
 namespace sas {
 
+std::vector<std::string> DefaultMethods(bool include_sketch) {
+  std::vector<std::string> methods{keys::kAware, keys::kObliv,
+                                   keys::kWavelet, keys::kQDigest};
+  if (include_sketch) methods.push_back(keys::kSketch);
+  return methods;
+}
+
 std::vector<BuiltSummary> BuildMethods(const Dataset2D& ds, std::size_t s,
-                                       const MethodSet& methods,
+                                       const std::vector<std::string>& methods,
                                        std::uint64_t seed) {
   std::vector<BuiltSummary> out;
+  out.reserve(methods.size());
   Rng rng(seed);
 
-  if (methods.aware) {
+  for (const std::string& method : methods) {
+    SummarizerConfig cfg;
+    cfg.s = static_cast<double>(s);
+    cfg.seed = rng.Next();
+    cfg.structure = StructureSpec::Product();
+    cfg.bits_x = ds.domain.x.bits;
+    cfg.bits_y = ds.domain.y.bits;
+
     Stopwatch sw;
-    Rng local = rng.Split();
-    Sample sample = TwoPassProductSample(ds.items, static_cast<double>(s),
-                                         TwoPassConfig{}, &local);
     BuiltSummary b;
+    b.summary = BuildSummary(method, cfg, ds.items);
     b.build_seconds = sw.Seconds();
-    b.summary = std::make_unique<SampleSummary>("aware", std::move(sample));
-    out.push_back(std::move(b));
-  }
-  if (methods.obliv) {
-    Stopwatch sw;
-    StreamVarOpt sketch(s, rng.Split());
-    for (const auto& it : ds.items) sketch.Push(it);
-    BuiltSummary b;
-    b.build_seconds = sw.Seconds();
-    b.summary =
-        std::make_unique<SampleSummary>("obliv", sketch.ToSample());
-    out.push_back(std::move(b));
-  }
-  if (methods.wavelet) {
-    Stopwatch sw;
-    Wavelet2D wavelet(ds.items, s, ds.domain.x.bits, ds.domain.y.bits);
-    BuiltSummary b;
-    b.build_seconds = sw.Seconds();
-    b.summary = std::make_unique<WaveletSummary>(std::move(wavelet));
-    out.push_back(std::move(b));
-  }
-  if (methods.qdigest) {
-    Stopwatch sw;
-    QDigest2D digest(ds.items, static_cast<double>(s), ds.domain.x.bits,
-                     ds.domain.y.bits);
-    BuiltSummary b;
-    b.build_seconds = sw.Seconds();
-    b.summary = std::make_unique<QDigest2DSummary>(std::move(digest));
-    out.push_back(std::move(b));
-  }
-  if (methods.sketch) {
-    Stopwatch sw;
-    DyadicSketch sketch(ds.domain.x.bits, ds.domain.y.bits, s,
-                        /*rows=*/3, rng.Next());
-    for (const auto& it : ds.items) sketch.Update(it.pt, it.weight);
-    BuiltSummary b;
-    b.build_seconds = sw.Seconds();
-    b.summary = std::make_unique<DyadicSketchSummary>(std::move(sketch));
     out.push_back(std::move(b));
   }
   return out;

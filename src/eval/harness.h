@@ -1,20 +1,24 @@
 // Experiment harness: builds each summary method at a target size over a
 // dataset (with wall-clock timing) and evaluates it on query batteries.
 // Every per-figure bench binary is a thin driver over these helpers.
+//
+// All summaries are constructed through the registry (api/registry.h);
+// methods are named by their canonical keys, so adding a method to a bench
+// is adding one string.
 
 #ifndef SAS_EVAL_HARNESS_H_
 #define SAS_EVAL_HARNESS_H_
 
 #include <chrono>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "api/registry.h"
+#include "api/summary.h"
 #include "data/dataset.h"
 #include "data/query_gen.h"
 #include "eval/metrics.h"
-#include "eval/summary_iface.h"
 
 namespace sas {
 
@@ -38,21 +42,17 @@ struct BuiltSummary {
   double build_seconds = 0.0;
 };
 
-/// Which methods to build (sketch is off by default in accuracy figures,
-/// matching the paper which drops it as "off the scale").
-struct MethodSet {
-  bool aware = true;
-  bool obliv = true;
-  bool wavelet = true;
-  bool qdigest = true;
-  bool sketch = false;
-};
+/// The methods the paper's figures compare: aware (two-pass product
+/// sampler), obliv (streaming VarOpt), wavelet, qdigest, and optionally the
+/// dyadic sketch (off by default in accuracy figures, matching the paper
+/// which drops it as "off the scale").
+std::vector<std::string> DefaultMethods(bool include_sketch = false);
 
-/// Builds all enabled methods at summary size `s` over the dataset.
-/// The aware method is the two-pass product sampler (the configuration the
-/// paper evaluates); obliv is streaming VarOpt.
+/// Builds every listed method (canonical registry keys) at summary size `s`
+/// over the dataset, in order, deriving one deterministic sub-seed per
+/// method from `seed`.
 std::vector<BuiltSummary> BuildMethods(const Dataset2D& ds, std::size_t s,
-                                       const MethodSet& methods,
+                                       const std::vector<std::string>& methods,
                                        std::uint64_t seed);
 
 /// Evaluates one summary over a battery; also reports query time.

@@ -1,0 +1,32 @@
+// Shared helpers for the api test suites.
+
+#ifndef SAS_TESTS_API_TEST_UTIL_H_
+#define SAS_TESTS_API_TEST_UTIL_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/random.h"
+#include "core/types.h"
+
+namespace sas::test {
+
+/// n distinct 2-D points with Pareto(1.3) weights and sequential key ids.
+inline std::vector<WeightedKey> RandomItems(std::size_t n, Coord domain,
+                                            Rng* rng) {
+  std::set<std::pair<Coord, Coord>> seen;
+  while (seen.size() < n) {
+    seen.insert({rng->NextBounded(domain), rng->NextBounded(domain)});
+  }
+  std::vector<WeightedKey> items;
+  KeyId id = 0;
+  for (const auto& [x, y] : seen) {
+    items.push_back({id++, rng->NextPareto(1.3), {x, y}});
+  }
+  return items;
+}
+
+}  // namespace sas::test
+
+#endif  // SAS_TESTS_API_TEST_UTIL_H_

@@ -19,9 +19,8 @@ Dataset2D SmallDataset() {
 
 TEST(BuildMethods, BuildsAllRequested) {
   const auto ds = SmallDataset();
-  MethodSet methods;
-  methods.sketch = true;
-  const auto built = BuildMethods(ds, 100, methods, 123);
+  const auto built =
+      BuildMethods(ds, 100, DefaultMethods(/*include_sketch=*/true), 123);
   ASSERT_EQ(built.size(), 5u);
   EXPECT_EQ(built[0].summary->Name(), "aware");
   EXPECT_EQ(built[1].summary->Name(), "obliv");
@@ -36,9 +35,8 @@ TEST(BuildMethods, BuildsAllRequested) {
 
 TEST(BuildMethods, SampleSizesExact) {
   const auto ds = SmallDataset();
-  MethodSet methods;
-  methods.wavelet = methods.qdigest = false;
-  const auto built = BuildMethods(ds, 64, methods, 7);
+  const auto built =
+      BuildMethods(ds, 64, {keys::kAware, keys::kObliv}, 7);
   ASSERT_EQ(built.size(), 2u);
   EXPECT_EQ(built[0].summary->SizeInElements(), 64u);  // aware
   EXPECT_EQ(built[1].summary->SizeInElements(), 64u);  // obliv
@@ -49,9 +47,7 @@ TEST(EvaluateOnBattery, ErrorsAreFiniteAndSmallForSamples) {
   Rng rng(9);
   const auto battery =
       UniformAreaQueries(ds.items, ds.domain, 10, 5, 0.4, &rng);
-  MethodSet methods;
-  methods.wavelet = methods.qdigest = false;
-  const auto built = BuildMethods(ds, 200, methods, 11);
+  const auto built = BuildMethods(ds, 200, {keys::kAware, keys::kObliv}, 11);
   for (const auto& b : built) {
     const auto result = EvaluateOnBattery(b, battery);
     EXPECT_EQ(result.errors.count, 10u);

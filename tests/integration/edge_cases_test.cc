@@ -7,12 +7,11 @@
 
 #include <vector>
 
-#include "aware/hierarchy_summarizer.h"
-#include "aware/order_summarizer.h"
-#include "aware/product_summarizer.h"
+#include "api/registry.h"
 #include "aware/two_pass.h"
 #include "core/ipps.h"
 #include "core/random.h"
+#include "structure/hierarchy.h"
 #include "sampling/poisson.h"
 #include "sampling/stream_varopt.h"
 #include "sampling/systematic.h"
@@ -21,12 +20,31 @@
 namespace sas {
 namespace {
 
+/// Builds one summary through the registry, drawing the config seed from
+/// the caller's rng so repeated calls see fresh randomness.
+std::unique_ptr<RangeSummary> BuildVia(const char* key,
+                                       const StructureSpec& spec,
+                                       const std::vector<WeightedKey>& items,
+                                       double s, Rng* rng) {
+  SummarizerConfig cfg;
+  cfg.s = s;
+  cfg.seed = rng->Next();
+  cfg.structure = spec;
+  return BuildSummary(key, cfg, items);
+}
+
 TEST(EdgeCases, SingleKey) {
   Rng rng(1);
   const std::vector<WeightedKey> items{{0, 5.0, {7, 9}}};
   EXPECT_EQ(VarOptOffline(items, 1.0, &rng).size(), 1u);
-  EXPECT_EQ(OrderSummarize(items, 1.0, &rng).sample.size(), 1u);
-  EXPECT_EQ(ProductSummarize(items, 1.0, &rng).sample.size(), 1u);
+  EXPECT_EQ(
+      BuildVia(keys::kOrder, StructureSpec::Order(), items, 1.0, &rng)
+          ->SizeInElements(),
+      1u);
+  EXPECT_EQ(
+      BuildVia(keys::kProduct, StructureSpec::Product(), items, 1.0, &rng)
+          ->SizeInElements(),
+      1u);
   EXPECT_EQ(
       TwoPassProductSample(items, 1.0, TwoPassConfig{}, &rng).size(), 1u);
 }
@@ -64,8 +82,9 @@ TEST(EdgeCases, IdenticalPoints) {
   std::vector<WeightedKey> items;
   for (KeyId i = 0; i < 50; ++i) items.push_back({i, 1.0, {5, 5}});
   for (KeyId i = 50; i < 100; ++i) items.push_back({i, 1.0, {9, 2}});
-  const auto result = ProductSummarize(items, 10.0, &rng);
-  EXPECT_EQ(result.sample.size(), 10u);
+  const auto result =
+      BuildVia(keys::kProduct, StructureSpec::Product(), items, 10.0, &rng);
+  EXPECT_EQ(result->SizeInElements(), 10u);
   const Sample tp = TwoPassProductSample(items, 10.0, TwoPassConfig{}, &rng);
   EXPECT_EQ(tp.size(), 10u);
 }
@@ -93,8 +112,14 @@ TEST(EdgeCases, SampleSizeOne) {
     items.push_back({i, rng.NextPareto(1.2), {i, 0}});
   }
   for (int t = 0; t < 50; ++t) {
-    EXPECT_EQ(OrderSummarize(items, 1.0, &rng).sample.size(), 1u);
-    EXPECT_EQ(ProductSummarize(items, 1.0, &rng).sample.size(), 1u);
+    EXPECT_EQ(
+        BuildVia(keys::kOrder, StructureSpec::Order(), items, 1.0, &rng)
+            ->SizeInElements(),
+        1u);
+    EXPECT_EQ(
+        BuildVia(keys::kProduct, StructureSpec::Product(), items, 1.0, &rng)
+            ->SizeInElements(),
+        1u);
   }
 }
 
@@ -105,7 +130,10 @@ TEST(EdgeCases, SampleSizeNMinusOne) {
     items.push_back({i, rng.NextPareto(1.2), {i, 0}});
   }
   for (int t = 0; t < 50; ++t) {
-    EXPECT_EQ(OrderSummarize(items, 19.0, &rng).sample.size(), 19u);
+    EXPECT_EQ(
+        BuildVia(keys::kOrder, StructureSpec::Order(), items, 19.0, &rng)
+            ->SizeInElements(),
+        19u);
     EXPECT_EQ(VarOptOffline(items, 19.0, &rng).size(), 19u);
   }
 }
@@ -117,17 +145,19 @@ TEST(EdgeCases, UniformWeightsReduceToReservoir) {
   Rng rng(8);
   std::vector<WeightedKey> items;
   for (KeyId i = 0; i < 60; ++i) items.push_back({i, 2.5, {i, 0}});
-  const auto result = OrderSummarize(items, 12.0, &rng);
-  EXPECT_EQ(result.sample.size(), 12u);
-  for (double p : result.probs) EXPECT_NEAR(p, 0.2, 1e-12);
+  const auto result =
+      BuildVia(keys::kOrder, StructureSpec::Order(), items, 12.0, &rng);
+  EXPECT_EQ(result->SizeInElements(), 12u);
+  for (double p : result->AsSample()->probs()) EXPECT_NEAR(p, 0.2, 1e-12);
 }
 
 TEST(EdgeCases, HierarchySingleLeaf) {
   Rng rng(9);
   const Hierarchy h = Hierarchy::FromParents({-1});
   const std::vector<WeightedKey> items{{0, 3.0, {0, 0}}};
-  const auto result = HierarchySummarize(items, h, 1.0, &rng);
-  EXPECT_EQ(result.sample.size(), 1u);
+  const auto result = BuildVia(
+      keys::kHierarchy, StructureSpec::OverHierarchy(&h), items, 1.0, &rng);
+  EXPECT_EQ(result->SizeInElements(), 1u);
 }
 
 TEST(EdgeCases, SystematicWithHeavyKeys) {
@@ -173,7 +203,9 @@ TEST(EdgeCases, FractionalSampleSize) {
     items.push_back({i, rng.NextPareto(1.3), {i, 0}});
   }
   for (int t = 0; t < 100; ++t) {
-    const std::size_t got = OrderSummarize(items, 7.5, &rng).sample.size();
+    const std::size_t got =
+        BuildVia(keys::kOrder, StructureSpec::Order(), items, 7.5, &rng)
+            ->SizeInElements();
     EXPECT_TRUE(got == 7 || got == 8) << got;
   }
 }
@@ -184,10 +216,13 @@ TEST(EdgeCases, EqualWeightsTieAtThreshold) {
   std::vector<WeightedKey> items;
   for (KeyId i = 0; i < 10; ++i) items.push_back({i, 4.0, {i, 0}});
   items[0].weight = 12.0;  // tau for s=4 is 36/3 = 12 -> p0 = 1 exactly
-  const auto result = OrderSummarize(items, 4.0, &rng);
-  EXPECT_EQ(result.sample.size(), 4u);
+  const auto result =
+      BuildVia(keys::kOrder, StructureSpec::Order(), items, 4.0, &rng);
+  EXPECT_EQ(result->SizeInElements(), 4u);
   bool has0 = false;
-  for (const auto& e : result.sample.entries()) has0 |= e.id == 0;
+  for (const auto& e : result->AsSample()->sample().entries()) {
+    has0 |= e.id == 0;
+  }
   EXPECT_TRUE(has0);
 }
 

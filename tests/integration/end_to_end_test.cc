@@ -51,9 +51,8 @@ TEST_F(EndToEnd, AllMethodsProduceFiniteErrors) {
   Rng rng(1);
   const auto battery =
       UniformWeightQueries(ds_->items, *part_, 15, 5, 5, &rng);
-  MethodSet methods;
-  methods.sketch = true;
-  const auto built = BuildMethods(*ds_, 300, methods, 2);
+  const auto built = BuildMethods(
+      *ds_, 300, DefaultMethods(/*include_sketch=*/true), 2);
   for (const auto& b : built) {
     const auto result = EvaluateOnBattery(b, battery);
     EXPECT_TRUE(std::isfinite(result.errors.mean_abs)) << result.method;
@@ -68,11 +67,10 @@ TEST_F(EndToEnd, AwareBeatsOblivOnRangeQueries) {
   Rng rng(3);
   const auto battery =
       UniformWeightQueries(ds_->items, *part_, 25, 5, 5, &rng);
-  MethodSet methods;
-  methods.wavelet = methods.qdigest = false;
   double aware_total = 0.0, obliv_total = 0.0;
   for (int seed = 0; seed < 5; ++seed) {
-    const auto built = BuildMethods(*ds_, 400, methods, 100 + seed);
+    const auto built =
+        BuildMethods(*ds_, 400, {keys::kAware, keys::kObliv}, 100 + seed);
     aware_total += MeanAbs(*ds_, battery, built[0]);
     obliv_total += MeanAbs(*ds_, battery, built[1]);
   }
@@ -84,8 +82,7 @@ TEST_F(EndToEnd, SampleErrorShrinksWithSize) {
   Rng rng(4);
   const auto battery =
       UniformWeightQueries(ds_->items, *part_, 20, 5, 4, &rng);
-  MethodSet methods;
-  methods.wavelet = methods.qdigest = false;
+  const std::vector<std::string> methods{keys::kAware, keys::kObliv};
   double err_small = 0.0, err_large = 0.0;
   for (int seed = 0; seed < 3; ++seed) {
     err_small +=
@@ -102,7 +99,7 @@ TEST_F(EndToEnd, QDigestWorseThanSamplingOnUniformWeightQueries) {
   Rng rng(5);
   const auto battery =
       UniformWeightQueries(ds_->items, *part_, 20, 10, 6, &rng);
-  const auto built = BuildMethods(*ds_, 300, MethodSet{}, 6);
+  const auto built = BuildMethods(*ds_, 300, DefaultMethods(), 6);
   const double aware = MeanAbs(*ds_, battery, built[0]);
   const double qdig = MeanAbs(*ds_, battery, built[3]);
   EXPECT_LT(aware, qdig);
@@ -119,7 +116,7 @@ TEST_F(EndToEnd, TechTicketPipelineRuns) {
   const WeightPartition part(ds.items, ds.domain);
   Rng rng(9);
   const auto battery = UniformWeightQueries(ds.items, part, 10, 5, 4, &rng);
-  const auto built = BuildMethods(ds, 200, MethodSet{}, 10);
+  const auto built = BuildMethods(ds, 200, DefaultMethods(), 10);
   ASSERT_EQ(built.size(), 4u);
   for (const auto& b : built) {
     const auto result = EvaluateOnBattery(b, battery);
@@ -130,8 +127,7 @@ TEST_F(EndToEnd, TechTicketPipelineRuns) {
 TEST_F(EndToEnd, SamplesAnswerArbitrarySubsetQueries) {
   // Flexibility: a sample answers non-range queries (here: "all keys whose
   // source is even") with small relative error; dedicated summaries cannot.
-  MethodSet methods;
-  methods.wavelet = methods.qdigest = false;
+  const std::vector<std::string> methods{keys::kAware, keys::kObliv};
   Weight truth = 0.0;
   for (const auto& it : ds_->items) {
     if (it.pt.x % 2 == 0) truth += it.weight;
@@ -140,8 +136,7 @@ TEST_F(EndToEnd, SamplesAnswerArbitrarySubsetQueries) {
   const int seeds = 10;
   for (int seed = 0; seed < seeds; ++seed) {
     const auto built = BuildMethods(*ds_, 500, methods, 200 + seed);
-    const auto* aware =
-        dynamic_cast<const SampleSummary*>(built[0].summary.get());
+    const SampleSummary* aware = built[0].summary->AsSample();
     ASSERT_NE(aware, nullptr);
     est_total += aware->sample().EstimateSubset(
         [](const WeightedKey& k) { return k.pt.x % 2 == 0; });

@@ -11,9 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "aware/order_summarizer.h"
-#include "aware/product_summarizer.h"
-#include "aware/two_pass.h"
+#include "api/registry.h"
 #include "core/ipps.h"
 #include "core/random.h"
 #include "sampling/stream_varopt.h"
@@ -26,6 +24,18 @@ namespace {
 
 using SamplerFn = std::function<Sample(const std::vector<WeightedKey>&,
                                        double, Rng*)>;
+
+/// Builds one sample through the registry, drawing the config seed from the
+/// caller's rng so repeated calls see fresh randomness.
+Sample RegistrySample(const char* key, const StructureSpec& spec,
+                      const std::vector<WeightedKey>& items, double s,
+                      Rng* rng) {
+  SummarizerConfig cfg;
+  cfg.s = s;
+  cfg.seed = rng->Next();
+  cfg.structure = spec;
+  return BuildSummary(key, cfg, items)->AsSample()->sample();
+}
 
 struct SamplerCase {
   std::string name;
@@ -47,24 +57,30 @@ std::vector<SamplerCase> AllSamplers() {
          return sv.ToSample();
        },
        true},
+      // The structure-aware schemes go through the public registry API so
+      // the sampler contract is pinned on the surface users call.
       {"order_aware",
        [](const auto& items, double s, Rng* rng) {
-         return OrderSummarize(items, s, rng).sample;
+         return RegistrySample(keys::kOrder, StructureSpec::Order(), items,
+                               s, rng);
        },
        true},
       {"product_aware",
        [](const auto& items, double s, Rng* rng) {
-         return ProductSummarize(items, s, rng).sample;
+         return RegistrySample(keys::kProduct, StructureSpec::Product(),
+                               items, s, rng);
        },
        true},
       {"two_pass_product",
        [](const auto& items, double s, Rng* rng) {
-         return TwoPassProductSample(items, s, TwoPassConfig{}, rng);
+         return RegistrySample(keys::kAware, StructureSpec::Product(), items,
+                               s, rng);
        },
        true},
       {"two_pass_order",
        [](const auto& items, double s, Rng* rng) {
-         return TwoPassOrderSample(items, s, TwoPassConfig{}, rng);
+         return RegistrySample(keys::kOrderTwoPass, StructureSpec::Order(),
+                               items, s, rng);
        },
        true},
       {"systematic",
