@@ -56,6 +56,7 @@ class BufferingSummarizer : public Summarizer {
 class OrderBuilder : public BufferingSummarizer {
  public:
   using BufferingSummarizer::BufferingSummarizer;
+  bool Mergeable() const override { return true; }
   std::unique_ptr<RangeSummary> Finalize() override {
     Rng rng(cfg_.seed);
     SummarizeResult r = OrderSummarize(items_, cfg_.s, &rng);
@@ -102,6 +103,7 @@ class DisjointBuilder : public BufferingSummarizer {
 class ProductBuilder : public BufferingSummarizer {
  public:
   using BufferingSummarizer::BufferingSummarizer;
+  bool Mergeable() const override { return true; }
   std::unique_ptr<RangeSummary> Finalize() override {
     Rng rng(cfg_.seed);
     SummarizeResult r = ProductSummarize(items_, cfg_.s, &rng);
@@ -132,6 +134,18 @@ class NdBuilder : public Summarizer {
     weights_.push_back(item.weight);
     originals_.push_back(item);
   }
+
+  void AddBatch(std::span<const WeightedKey> items) override {
+    coords_.reserve(coords_.size() +
+                    items.size() * (cfg_.structure.dims == 2 ? 2 : 1));
+    weights_.reserve(weights_.size() + items.size());
+    originals_.reserve(originals_.size() + items.size());
+    for (const WeightedKey& it : items) Add(it);
+  }
+
+  /// Mergeable via the Add path only: AddCoords synthesizes ids from the
+  /// insertion index, which a hash partition would collide across shards.
+  bool Mergeable() const override { return true; }
 
   void AddCoords(const Coord* coords, int dims, Weight w) override {
     if (dims != cfg_.structure.dims) {
@@ -193,6 +207,13 @@ class TwoPassProductBuilder : public Summarizer {
     buffer_.push_back(item);
   }
 
+  void AddBatch(std::span<const WeightedKey> items) override {
+    for (const WeightedKey& it : items) sampler_.Pass1(it);
+    buffer_.insert(buffer_.end(), items.begin(), items.end());
+  }
+
+  bool Mergeable() const override { return true; }
+
   std::unique_ptr<RangeSummary> Finalize() override {
     sampler_.BeginPass2();
     for (const WeightedKey& it : buffer_) sampler_.Pass2(it);
@@ -209,6 +230,7 @@ class TwoPassProductBuilder : public Summarizer {
 class TwoPassOrderBuilder : public BufferingSummarizer {
  public:
   using BufferingSummarizer::BufferingSummarizer;
+  bool Mergeable() const override { return true; }
   std::unique_ptr<RangeSummary> Finalize() override {
     Rng rng(cfg_.seed);
     Sample sample = TwoPassOrderSample(
@@ -268,8 +290,17 @@ class OblivBuilder : public Summarizer {
 
   void Add(const WeightedKey& item) override { sketch_.Push(item); }
 
+  /// Batched ingest fast path: one virtual dispatch per batch, then the
+  /// sketch's non-virtual per-item loop.
+  void AddBatch(std::span<const WeightedKey> items) override {
+    sketch_.PushBatch(items);
+  }
+
+  bool Mergeable() const override { return true; }
+
   std::unique_ptr<RangeSummary> Finalize() override {
-    return std::make_unique<SampleSummary>(keys::kObliv, sketch_.ToSample());
+    return std::make_unique<SampleSummary>(keys::kObliv,
+                                           sketch_.TakeSample());
   }
 
  private:
@@ -304,6 +335,10 @@ class SketchBuilder : public Summarizer {
 
   void Add(const WeightedKey& item) override {
     sketch_.Update(item.pt, item.weight);
+  }
+
+  void AddBatch(std::span<const WeightedKey> items) override {
+    for (const WeightedKey& it : items) sketch_.Update(it.pt, it.weight);
   }
 
   std::unique_ptr<RangeSummary> Finalize() override {

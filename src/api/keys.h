@@ -29,6 +29,13 @@ inline constexpr const char kQDigest[] = "qdigest";  // 2-D q-digest
 inline constexpr const char kSketch[] = "sketch";    // dyadic Count-Sketch
 inline constexpr const char kExact[] = "exact";      // brute force (testing)
 
+// Composed-key prefix of the shard-parallel ingest wrapper: the key
+// "sharded:<N>:<inner-key>" hash-partitions the stream across N worker
+// threads each feeding one <inner-key> summarizer, and VarOpt-merges the
+// shard samples at Finalize. Parsed by MakeSummarizer (api/registry.cc);
+// the inner method must be Mergeable (api/summarizer.h).
+inline constexpr const char kShardedPrefix[] = "sharded:";
+
 }  // namespace sas::keys
 
 #endif  // SAS_API_KEYS_H_

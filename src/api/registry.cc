@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "api/sharded.h"
+
 namespace sas {
 
 namespace internal {
@@ -60,6 +62,12 @@ bool RegisterSummarizer(const std::string& key, SummarizerFactory factory) {
 std::unique_ptr<Summarizer> MakeSummarizer(const std::string& key,
                                            const SummarizerConfig& cfg) {
   EnsureBuiltins();
+  // Composed keys: "sharded:<N>:<inner-key>" wraps any mergeable registered
+  // method in the shard-parallel ingest backend (api/sharded.h).
+  if (IsShardedKey(key)) {
+    ValidateCommon(key, cfg);
+    return MakeShardedSummarizer(key, cfg);
+  }
   SummarizerFactory factory;
   {
     std::lock_guard<std::mutex> lock(RegistryMutex());
@@ -93,6 +101,18 @@ std::vector<std::string> RegisteredSummarizers() {
 
 bool IsRegisteredSummarizer(const std::string& key) {
   EnsureBuiltins();
+  if (IsShardedKey(key)) {
+    // A sharded key is "registered" when it parses and its inner key is.
+    // As with any registered key, MakeSummarizer can still reject it for
+    // config-dependent reasons — a non-mergeable inner method here, just
+    // like "hierarchy" without cfg.structure.hierarchy set (mergeability
+    // is an instance capability, only known once a builder exists).
+    try {
+      return IsRegisteredSummarizer(ParseShardedKey(key).inner);
+    } catch (const std::invalid_argument&) {
+      return false;
+    }
+  }
   std::lock_guard<std::mutex> lock(RegistryMutex());
   return Registry().count(key) != 0;
 }

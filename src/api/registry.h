@@ -36,6 +36,9 @@ bool RegisterSummarizer(const std::string& key, SummarizerFactory factory);
 /// Creates a builder for the method registered under `key`.
 /// Throws std::invalid_argument for an unknown key or an invalid config
 /// (non-positive size, missing hierarchy, bad dimension/bits, ...).
+/// Composed keys "sharded:<N>:<inner-key>" wrap any mergeable method in the
+/// shard-parallel ingest backend (api/sharded.h): N worker threads, one
+/// inner summarizer each, VarOpt merge at Finalize.
 std::unique_ptr<Summarizer> MakeSummarizer(const std::string& key,
                                            const SummarizerConfig& cfg);
 

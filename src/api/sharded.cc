@@ -1,0 +1,262 @@
+#include "api/sharded.h"
+
+#include <cstddef>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "api/keys.h"
+#include "api/registry.h"
+#include "api/summary.h"
+#include "core/merge.h"
+#include "core/random.h"
+
+namespace sas {
+
+namespace {
+
+constexpr int kMaxShards = 64;
+/// Items accumulated on the caller thread before hand-off to a worker.
+constexpr std::size_t kBatchSize = 4096;
+/// Bounded queue depth per shard; a full queue back-pressures the producer.
+constexpr std::size_t kMaxQueueDepth = 4;
+
+constexpr std::uint64_t kPartitionSaltTag = 0x5A5DED5A17E1F00DULL;
+
+[[noreturn]] void BadKey(const std::string& key, const std::string& why) {
+  throw std::invalid_argument("MakeSummarizer(\"" + key + "\"): " + why);
+}
+
+}  // namespace
+
+namespace {
+std::size_t IndexWithSalt(KeyId id, std::uint64_t salt,
+                          std::uint64_t num_shards) {
+  return static_cast<std::size_t>(
+      Mix64(static_cast<std::uint64_t>(id) ^ salt) % num_shards);
+}
+}  // namespace
+
+std::size_t ShardIndex(KeyId id, std::uint64_t seed, int num_shards) {
+  return IndexWithSalt(id, Mix64(seed ^ kPartitionSaltTag),
+                       static_cast<std::uint64_t>(num_shards));
+}
+
+bool IsShardedKey(const std::string& key) {
+  return key.rfind(keys::kShardedPrefix, 0) == 0;
+}
+
+ShardedKeySpec ParseShardedKey(const std::string& key) {
+  if (!IsShardedKey(key)) {
+    BadKey(key, "not a sharded key (expected \"sharded:<N>:<inner-key>\")");
+  }
+  const std::size_t count_begin = std::string(keys::kShardedPrefix).size();
+  const std::size_t colon = key.find(':', count_begin);
+  if (colon == std::string::npos) {
+    BadKey(key, "missing inner key (expected \"sharded:<N>:<inner-key>\")");
+  }
+  const std::string count_str = key.substr(count_begin, colon - count_begin);
+  if (count_str.empty() ||
+      count_str.find_first_not_of("0123456789") != std::string::npos) {
+    BadKey(key, "shard count \"" + count_str + "\" is not a positive integer");
+  }
+  long count = 0;
+  try {
+    count = std::stol(count_str);
+  } catch (const std::out_of_range&) {
+    count = kMaxShards + 1L;
+  }
+  if (count < 1 || count > kMaxShards) {
+    BadKey(key, "shard count must be in [1, " + std::to_string(kMaxShards) +
+                    "], got \"" + count_str + "\"");
+  }
+  ShardedKeySpec spec;
+  spec.shards = static_cast<int>(count);
+  spec.inner = key.substr(colon + 1);
+  if (spec.inner.empty()) {
+    BadKey(key, "empty inner key (expected \"sharded:<N>:<inner-key>\")");
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+
+struct ShardedSummarizer::Shard {
+  std::unique_ptr<Summarizer> inner;
+
+  // Producer side: accumulation buffer filled by the caller thread.
+  std::vector<WeightedKey> pending;
+
+  // Hand-off queue (guarded by mu). `spare` recycles drained buffers back
+  // to the producer so steady-state ingest allocates nothing.
+  std::mutex mu;
+  std::condition_variable can_push;
+  std::condition_variable can_pop;
+  std::deque<std::vector<WeightedKey>> queue;
+  std::vector<std::vector<WeightedKey>> spare;
+  bool closed = false;
+  std::exception_ptr error;
+
+  // Worker side.
+  std::thread worker;
+  std::unique_ptr<RangeSummary> result;
+};
+
+ShardedSummarizer::ShardedSummarizer(std::string key,
+                                     const ShardedKeySpec& spec,
+                                     const SummarizerConfig& cfg)
+    : Summarizer(cfg), key_(std::move(key)) {
+  if (cfg.s < 1.0) {
+    BadKey(key_, "summary size s must be >= 1 for the sharded wrapper "
+                 "(the merged sample budget is integral)");
+  }
+  // Cached salt of the ShardIndex partition hash (see its doc for why the
+  // partition is seed-salted).
+  salt_ = Mix64(cfg.seed ^ kPartitionSaltTag);
+  shards_.reserve(static_cast<std::size_t>(spec.shards));
+  for (int i = 0; i < spec.shards; ++i) {
+    SummarizerConfig inner_cfg = cfg;
+    inner_cfg.seed = ForkSeed(cfg.seed, static_cast<std::uint64_t>(i));
+    auto sh = std::make_unique<Shard>();
+    sh->inner = MakeSummarizer(spec.inner, inner_cfg);
+    if (i == 0 && !sh->inner->Mergeable()) {
+      BadKey(key_, "inner method \"" + spec.inner +
+                       "\" is not mergeable (its summary is not a "
+                       "partition-tolerant VarOpt sample)");
+    }
+    sh->pending.reserve(kBatchSize);
+    shards_.push_back(std::move(sh));
+  }
+  try {
+    for (auto& sh : shards_) {
+      sh->worker = std::thread(&ShardedSummarizer::WorkerLoop, sh.get());
+    }
+  } catch (...) {
+    // Thread creation failed partway (e.g. RLIMIT_NPROC): close and join
+    // the workers already running before the Shard structs are destroyed.
+    CloseAndJoin();
+    throw;
+  }
+}
+
+ShardedSummarizer::~ShardedSummarizer() { CloseAndJoin(); }
+
+ShardedSummarizer::Shard& ShardedSummarizer::ShardOf(KeyId id) {
+  return *shards_[IndexWithSalt(id, salt_, shards_.size())];
+}
+
+void ShardedSummarizer::Add(const WeightedKey& item) {
+  if (joined_) {
+    throw std::logic_error(
+        "sharded summarizer: Add after Finalize (builders are spent once "
+        "finalized)");
+  }
+  Shard& sh = ShardOf(item.id);
+  sh.pending.push_back(item);
+  if (sh.pending.size() >= kBatchSize) FlushPending(sh);
+}
+
+void ShardedSummarizer::FlushPending(Shard& sh) {
+  if (sh.pending.empty()) return;
+  std::vector<WeightedKey> next;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (!sh.spare.empty()) {
+      next = std::move(sh.spare.back());
+      sh.spare.pop_back();
+    }
+  }
+  next.reserve(kBatchSize);
+  Enqueue(sh, std::exchange(sh.pending, std::move(next)));
+}
+
+void ShardedSummarizer::Enqueue(Shard& sh, std::vector<WeightedKey> batch) {
+  std::unique_lock<std::mutex> lock(sh.mu);
+  sh.can_push.wait(lock, [&] {
+    return sh.queue.size() < kMaxQueueDepth || sh.error != nullptr ||
+           sh.closed;
+  });
+  // A dead worker (error) or a closed queue drains nothing; drop the batch
+  // rather than blocking forever — Finalize rethrows worker errors.
+  if (sh.error != nullptr || sh.closed) return;
+  sh.queue.push_back(std::move(batch));
+  sh.can_pop.notify_one();
+}
+
+void ShardedSummarizer::WorkerLoop(Shard* sh) {
+  try {
+    for (;;) {
+      std::vector<WeightedKey> batch;
+      {
+        std::unique_lock<std::mutex> lock(sh->mu);
+        sh->can_pop.wait(lock,
+                         [&] { return !sh->queue.empty() || sh->closed; });
+        if (sh->queue.empty()) break;  // closed and fully drained
+        batch = std::move(sh->queue.front());
+        sh->queue.pop_front();
+        sh->can_push.notify_one();
+      }
+      sh->inner->AddBatch(batch);
+      batch.clear();
+      {
+        std::lock_guard<std::mutex> lock(sh->mu);
+        if (sh->spare.size() < kMaxQueueDepth) {
+          sh->spare.push_back(std::move(batch));
+        }
+      }
+    }
+    sh->result = sh->inner->Finalize();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    sh->error = std::current_exception();
+    sh->queue.clear();
+    sh->can_push.notify_all();
+  }
+}
+
+void ShardedSummarizer::CloseAndJoin() {
+  if (joined_) return;
+  joined_ = true;
+  for (auto& sh : shards_) FlushPending(*sh);
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    sh->closed = true;
+    sh->can_pop.notify_one();
+  }
+  for (auto& sh : shards_) {
+    if (sh->worker.joinable()) sh->worker.join();
+  }
+}
+
+std::unique_ptr<RangeSummary> ShardedSummarizer::Finalize() {
+  CloseAndJoin();
+  for (auto& sh : shards_) {
+    if (sh->error != nullptr) std::rethrow_exception(sh->error);
+  }
+
+  std::vector<Sample> parts;
+  parts.reserve(shards_.size());
+  for (auto& sh : shards_) {
+    auto* sample = dynamic_cast<SampleSummary*>(sh->result.get());
+    if (sample == nullptr) {
+      // Mergeable() promised a sample-backed summary; a custom method that
+      // lies about the capability is a programming error.
+      throw std::logic_error("sharded wrapper: inner summary \"" +
+                             sh->result->Name() + "\" is not sample-backed");
+    }
+    parts.push_back(sample->TakeSample());  // we own the result: move, not copy
+  }
+
+  Rng merge_rng(ForkSeed(cfg_.seed, shards_.size()));
+  Sample merged =
+      MergeAllSamples(parts, static_cast<std::size_t>(cfg_.s), &merge_rng);
+  return std::make_unique<SampleSummary>(key_, std::move(merged));
+}
+
+std::unique_ptr<Summarizer> MakeShardedSummarizer(
+    const std::string& key, const SummarizerConfig& cfg) {
+  const ShardedKeySpec spec = ParseShardedKey(key);
+  return std::make_unique<ShardedSummarizer>(key, spec, cfg);
+}
+
+}  // namespace sas

@@ -1,0 +1,115 @@
+// Shard-parallel ingest behind the registry: the composed key
+// "sharded:<N>:<inner-key>" wraps N independent <inner-key> summarizers,
+// hash-partitions the stream across them by key id, feeds each from its own
+// worker thread, and VarOpt-merges the N shard samples (core/merge.h) into
+// one summary at Finalize. Because it hides behind the uniform
+// Add/AddBatch/Finalize surface, every mergeable sample-backed method gains
+// a parallel backend with zero call-site changes:
+//
+//   auto builder = MakeSummarizer("sharded:4:obliv", cfg);
+//   builder->AddBatch(items);                 // workers ingest in parallel
+//   auto summary = builder->Finalize();       // shards merged to size s
+//
+// Ingest path: the caller thread only hashes ids and appends to per-shard
+// accumulation buffers; full buffers are handed to the shard's bounded
+// queue (double-buffered — drained buffers are recycled back to the
+// producer, and a full queue applies back-pressure). Each worker drains its
+// queue with the inner summarizer's batched AddBatch fast path and
+// finalizes its shard in parallel.
+//
+// Determinism: the partition is a seed-salted hash of the key id (the salt
+// keeps nested wrappers' partitions independent), shard i's summarizer is
+// seeded with ForkSeed(cfg.seed, i), and the merge RNG with
+// ForkSeed(cfg.seed, N) — so a fixed (seed, N, input) triple reproduces the
+// summary exactly, regardless of thread scheduling.
+
+#ifndef SAS_API_SHARDED_H_
+#define SAS_API_SHARDED_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/summarizer.h"
+
+namespace sas {
+
+/// Parsed form of a composed "sharded:<N>:<inner-key>" key.
+struct ShardedKeySpec {
+  int shards = 0;
+  std::string inner;
+};
+
+/// True when `key` starts with the sharded prefix (it may still be
+/// malformed; ParseShardedKey reports why).
+bool IsShardedKey(const std::string& key);
+
+/// Parses "sharded:<N>:<inner-key>". Throws std::invalid_argument with a
+/// specific reason for malformed keys: missing/non-numeric/out-of-range
+/// shard count (valid range [1, 64]) or an empty inner key. Does not check
+/// that the inner key is registered — MakeSummarizer does.
+ShardedKeySpec ParseShardedKey(const std::string& key);
+
+/// The wrapper's partition policy: the shard (in [0, num_shards)) that key
+/// `id` is routed to under config seed `seed`. The hash is salted with the
+/// seed so that nested wrappers — whose inner seeds are forked from the
+/// outer one — partition independently even when their shard counts share
+/// a factor. Exposed so tests (and external routers) can pin the policy.
+std::size_t ShardIndex(KeyId id, std::uint64_t seed, int num_shards);
+
+/// Factory used by MakeSummarizer for sharded keys: parses the key, builds
+/// the N inner summarizers (validating the inner config), and rejects
+/// non-mergeable inner methods with std::invalid_argument.
+std::unique_ptr<Summarizer> MakeShardedSummarizer(const std::string& key,
+                                                  const SummarizerConfig& cfg);
+
+/// The wrapper itself. Construct through MakeSummarizer; exposed for tests.
+class ShardedSummarizer : public Summarizer {
+ public:
+  /// `key` is the composed key reported by the finalized summary's Name().
+  /// Spawns one worker thread per shard. Throws std::invalid_argument if
+  /// the inner method is unknown, its config invalid, or it is not
+  /// Mergeable.
+  ShardedSummarizer(std::string key, const ShardedKeySpec& spec,
+                    const SummarizerConfig& cfg);
+  ~ShardedSummarizer() override;
+
+  /// Routes the item to its shard's buffer (throws std::logic_error once
+  /// the builder is finalized/spent). Batches go through the inherited
+  /// AddBatch, which loops Add — the caller-side work is just the hash and
+  /// a buffer append; the heavy lifting happens on the workers.
+  void Add(const WeightedKey& item) override;
+
+  /// Flushes, joins the workers, finalizes every shard, and merges the
+  /// shard samples into one of (expected) size cfg.s. Rethrows the first
+  /// worker/finalize error.
+  std::unique_ptr<RangeSummary> Finalize() override;
+
+  /// The merged output is itself a VarOpt sample, so sharded summarizers
+  /// nest ("sharded:2:sharded:2:obliv" type compositions).
+  bool Mergeable() const override { return true; }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard;
+
+  Shard& ShardOf(KeyId id);
+  void FlushPending(Shard& sh);
+  void Enqueue(Shard& sh, std::vector<WeightedKey> batch);
+  static void WorkerLoop(Shard* sh);
+  void CloseAndJoin();
+
+  std::string key_;
+  std::uint64_t salt_ = 0;  // partition-hash salt derived from cfg.seed
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool joined_ = false;
+};
+
+}  // namespace sas
+
+#endif  // SAS_API_SHARDED_H_

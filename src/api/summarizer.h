@@ -122,6 +122,16 @@ class Summarizer {
 
   virtual std::unique_ptr<RangeSummary> Finalize() = 0;
 
+  /// Mergeable capability: true when (a) Finalize() produces a sample-backed
+  /// summary whose Sample can be combined with others via MergeSamples
+  /// (core/merge.h), and (b) the method's semantics survive feeding it an
+  /// arbitrary subset of the input (so a hash-partitioned shard sees a valid
+  /// input). Methods with positional config (hierarchy/disjoint, whose
+  /// structure descriptors index "the i-th item added") and the
+  /// non-sample baselines report false; the sharded wrapper
+  /// (api/sharded.h) only composes over mergeable methods.
+  virtual bool Mergeable() const { return false; }
+
   const SummarizerConfig& config() const { return cfg_; }
 
  protected:

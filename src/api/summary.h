@@ -80,6 +80,10 @@ class SampleSummary : public RangeSummary {
   const SampleSummary* AsSample() const override { return this; }
 
   const Sample& sample() const { return sample_; }
+  /// Moves the sample out (for owners consuming the summary, e.g. the
+  /// sharded wrapper handing shard samples to the merge). The summary is
+  /// left with an empty sample.
+  Sample TakeSample() { return std::move(sample_); }
   double tau() const { return sample_.tau(); }
   /// Initial IPPS probabilities, or empty when the construction does not
   /// retain them (the streaming builders).

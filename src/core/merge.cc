@@ -1,0 +1,81 @@
+#include "core/merge.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "core/ipps.h"
+#include "core/pair_aggregate.h"
+
+namespace sas {
+namespace {
+
+/// Shared implementation over an arbitrary set of input samples.
+Sample MergeParts(const Sample* const* parts, std::size_t num_parts,
+                  std::size_t s, Rng* rng) {
+  assert(s >= 1);
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < num_parts; ++p) total += parts[p]->size();
+
+  // Combined entry set, each entry carried at its adjusted weight under its
+  // source sample. Entries keep that weight in the output, so a light entry
+  // (inclusion probability tau_src/tau_new) is adjusted to tau_new by
+  // Sample::AdjustedWeight while a pre-settled heavy entry keeps its value.
+  std::vector<WeightedKey> entries;
+  entries.reserve(total);
+  for (std::size_t p = 0; p < num_parts; ++p) {
+    for (const WeightedKey& e : parts[p]->entries()) {
+      entries.push_back({e.id, parts[p]->AdjustedWeight(e), e.pt});
+    }
+  }
+
+  if (total <= s) {
+    // Everything fits: keep all entries at their adjusted weights. The
+    // threshold must not disturb them, so it is 0 ("include everything").
+    return Sample(0.0, std::move(entries));
+  }
+
+  std::vector<Weight> weights;
+  weights.reserve(total);
+  for (const WeightedKey& e : entries) weights.push_back(e.weight);
+  const double tau = SolveTau(weights, static_cast<double>(s));
+
+  std::vector<double> probs;
+  IppsProbabilities(weights, tau, &probs);
+  for (double& q : probs) q = SnapProbability(q);
+
+  // Structure-oblivious settling: aggregate the open entries in a uniformly
+  // random order, then resolve any floating-point residual.
+  std::vector<std::size_t> order(total);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = total; i > 1; --i) {
+    std::swap(order[i - 1], order[rng->NextBounded(i)]);
+  }
+  const std::size_t leftover = ChainAggregate(&probs, order, kNoEntry, rng);
+  ResolveResidual(&probs, leftover, rng);
+
+  Sample out;
+  out.set_tau(tau);
+  out.Reserve(s + 1);
+  for (std::size_t i = 0; i < total; ++i) {
+    if (probs[i] == 1.0) out.Append(entries[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Sample MergeSamples(const Sample& a, const Sample& b, std::size_t s,
+                    Rng* rng) {
+  const Sample* parts[2] = {&a, &b};
+  return MergeParts(parts, 2, s, rng);
+}
+
+Sample MergeAllSamples(const std::vector<Sample>& parts, std::size_t s,
+                       Rng* rng) {
+  std::vector<const Sample*> ptrs;
+  ptrs.reserve(parts.size());
+  for (const Sample& p : parts) ptrs.push_back(&p);
+  return MergeParts(ptrs.data(), ptrs.size(), s, rng);
+}
+
+}  // namespace sas

@@ -1,0 +1,44 @@
+// VarOpt sample merge (mergeability of IPPS/VarOpt summaries).
+//
+// A VarOpt sample answers subset-sum queries unbiasedly via the adjusted
+// weights max(w_i, tau). Merging re-samples the union of the inputs'
+// entries, *carrying each entry at its adjusted weight*: by the law of
+// total expectation, an unbiased sample of unbiased estimates is itself
+// unbiased for the original data. The merged threshold is re-solved with
+// the exact IPPS machinery (core/ipps) and entries are settled by random
+// pair aggregation (core/pair_aggregate), i.e. the paper's own
+// structure-oblivious VarOpt step applied to the combined entry set.
+//
+// This is the primitive behind the sharded backend (api/sharded.h) and
+// distributed aggregation trees: shards sample independently, merges
+// combine pairwise or N-way in any order, and every intermediate result is
+// a valid Sample over the same query interface.
+
+#ifndef SAS_CORE_MERGE_H_
+#define SAS_CORE_MERGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/random.h"
+#include "core/sample.h"
+
+namespace sas {
+
+/// Merges two VarOpt samples into one of (expected) size s. Entries are
+/// combined at their adjusted weights, so the result is unbiased for the
+/// union of the data the inputs summarized. When the inputs together hold
+/// at most s entries, everything is kept (threshold 0) and no randomness is
+/// consumed. Requires s >= 1.
+Sample MergeSamples(const Sample& a, const Sample& b, std::size_t s,
+                    Rng* rng);
+
+/// N-way merge: one joint threshold resolution over all parts' entries.
+/// Statistically preferable to a cascade of pairwise merges (one
+/// re-sampling round instead of N-1).
+Sample MergeAllSamples(const std::vector<Sample>& parts, std::size_t s,
+                       Rng* rng);
+
+}  // namespace sas
+
+#endif  // SAS_CORE_MERGE_H_

@@ -82,6 +82,19 @@ double Rng::NextPareto(double alpha) {
   return std::pow(u, -1.0 / alpha);
 }
 
+std::uint64_t ForkSeed(std::uint64_t seed, std::uint64_t stream) {
+  // One SplitMix64 step from `seed`, then mix the stream index through a
+  // second finalizer so that consecutive streams land far apart.
+  std::uint64_t s = seed;
+  return Mix64(SplitMix64(&s) ^ Mix64(stream + 0xD1B54A32D192ED03ULL));
+}
+
+Rng Rng::Fork(std::uint64_t stream) const {
+  const std::uint64_t digest =
+      s_[0] ^ Rotl(s_[1], 13) ^ Rotl(s_[2], 29) ^ Rotl(s_[3], 43);
+  return Rng(ForkSeed(digest, stream));
+}
+
 Rng Rng::Split() {
   std::uint64_t derive = s_[0] ^ Rotl(s_[2], 29);
   // Advance self so successive Split() calls give distinct children.

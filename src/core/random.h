@@ -18,6 +18,13 @@ std::uint64_t SplitMix64(std::uint64_t* state);
 /// Stateless 64-bit finalizer (good avalanche); used by hashing code.
 std::uint64_t Mix64(std::uint64_t x);
 
+/// SplitMix-style deterministic sub-seed derivation: the seed of stream
+/// `stream` under master seed `seed`. Distinct streams yield independent
+/// generators; the mapping depends only on (seed, stream), so sharded runs
+/// are reproducible for a fixed seed and shard count regardless of thread
+/// scheduling.
+std::uint64_t ForkSeed(std::uint64_t seed, std::uint64_t stream);
+
 /// xoshiro256++ generator with convenience draws.
 class Rng {
  public:
@@ -46,6 +53,12 @@ class Rng {
   /// Creates an independent generator by jumping through SplitMix64 of the
   /// current state (used to hand child RNGs to sub-tasks deterministically).
   Rng Split();
+
+  /// Derives the `stream`-th child generator from the current state without
+  /// advancing it: Fork(i) called twice returns identical generators, and
+  /// distinct streams are independent. This is how per-shard RNGs are
+  /// derived so that parallel ingest is reproducible.
+  Rng Fork(std::uint64_t stream) const;
 
  private:
   std::uint64_t s_[4];

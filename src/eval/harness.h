@@ -48,8 +48,9 @@ struct BuiltSummary {
 /// which drops it as "off the scale").
 std::vector<std::string> DefaultMethods(bool include_sketch = false);
 
-/// Builds every listed method (canonical registry keys) at summary size `s`
-/// over the dataset, in order, deriving one deterministic sub-seed per
+/// Builds every listed method (canonical registry keys, including composed
+/// "sharded:<N>:<key>" keys for the shard-parallel backend) at summary size
+/// `s` over the dataset, in order, deriving one deterministic sub-seed per
 /// method from `seed`.
 std::vector<BuiltSummary> BuildMethods(const Dataset2D& ds, std::size_t s,
                                        const std::vector<std::string>& methods,

@@ -13,6 +13,7 @@
 #define SAS_SAMPLING_STREAM_VAROPT_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/random.h"
@@ -29,6 +30,19 @@ class StreamVarOpt {
   /// Processes one stream item. Items with weight <= 0 are ignored.
   void Push(const WeightedKey& item);
 
+  /// Processes a contiguous batch (the non-virtual hot-loop entry point of
+  /// the registry's batched ingest fast path).
+  void PushBatch(std::span<const WeightedKey> items) {
+    for (const WeightedKey& it : items) Push(it);
+  }
+
+  /// Merge entry point: feeds every entry of a finished VarOpt sample at
+  /// its *adjusted* weight, so a combiner sketch absorbing shard samples
+  /// stays unbiased for the union of the shards' data (law of total
+  /// expectation). This is the streaming counterpart of MergeSamples
+  /// (core/merge.h).
+  void Absorb(const Sample& sample);
+
   /// Current threshold (0 while fewer than s items have been seen).
   double tau() const { return tau_; }
 
@@ -40,6 +54,11 @@ class StreamVarOpt {
   /// Extracts the sample (threshold + retained items). The sketch remains
   /// usable afterwards.
   Sample ToSample() const;
+
+  /// Extracts the sample by moving the retained items out; the sketch is
+  /// reset to its freshly-constructed state (same capacity, same RNG
+  /// position). Use this at Finalize time to avoid copying the reservoir.
+  Sample TakeSample();
 
  private:
   /// Restores the heap property after appending to heavy_.

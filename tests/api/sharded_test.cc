@@ -1,0 +1,294 @@
+// Sharded backend tests: "sharded:<N>:<inner>" must agree with the
+// unsharded method within Horvitz-Thompson tolerance, reproduce exactly for
+// a fixed (seed, shard count), and reject malformed keys and non-mergeable
+// inner methods with std::invalid_argument.
+
+#include "api/sharded.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "core/random.h"
+#include "test_util.h"
+
+namespace sas {
+namespace {
+
+using test::RandomItems;
+
+Weight ExactBox(const std::vector<WeightedKey>& items, const Box& box) {
+  Weight total = 0.0;
+  for (const auto& it : items) {
+    if (box.Contains(it.pt)) total += it.weight;
+  }
+  return total;
+}
+
+std::unique_ptr<RangeSummary> Build(const std::string& key,
+                                    const SummarizerConfig& cfg,
+                                    const std::vector<WeightedKey>& items) {
+  auto builder = MakeSummarizer(key, cfg);
+  builder->AddBatch(items);
+  return builder->Finalize();
+}
+
+TEST(ShardedKey, ParsesWellFormedKeys) {
+  const ShardedKeySpec spec = ParseShardedKey("sharded:4:obliv");
+  EXPECT_EQ(spec.shards, 4);
+  EXPECT_EQ(spec.inner, "obliv");
+  // Nested composition parses one level at a time.
+  const ShardedKeySpec nested = ParseShardedKey("sharded:2:sharded:3:aware");
+  EXPECT_EQ(nested.shards, 2);
+  EXPECT_EQ(nested.inner, "sharded:3:aware");
+}
+
+TEST(ShardedKey, MalformedKeysThrow) {
+  SummarizerConfig cfg;
+  cfg.s = 50.0;
+  for (const char* bad :
+       {"sharded:", "sharded:4", "sharded::obliv", "sharded:0:obliv",
+        "sharded:-1:obliv", "sharded:abc:obliv", "sharded:4:",
+        "sharded:65:obliv", "sharded:99999999999999999999:obliv",
+        "sharded:4:no-such-method"}) {
+    EXPECT_THROW(MakeSummarizer(bad, cfg), std::invalid_argument) << bad;
+    EXPECT_FALSE(IsRegisteredSummarizer(bad)) << bad;
+  }
+}
+
+TEST(ShardedKey, NonMergeableInnerRejected) {
+  SummarizerConfig cfg;
+  cfg.s = 50.0;
+  // Deterministic baselines cannot be VarOpt-merged; positional-config
+  // samplers (hierarchy/disjoint) do not survive hash partitioning.
+  for (const char* inner : {"wavelet", "qdigest", "sketch", "exact"}) {
+    EXPECT_THROW(MakeSummarizer("sharded:2:" + std::string(inner), cfg),
+                 std::invalid_argument)
+        << inner;
+  }
+  cfg.structure = StructureSpec::Disjoint({0, 1}, 2);
+  EXPECT_THROW(MakeSummarizer("sharded:2:disjoint", cfg),
+               std::invalid_argument);
+}
+
+TEST(ShardedKey, RegisteredWhenInnerIs) {
+  EXPECT_TRUE(IsShardedKey("sharded:4:obliv"));
+  EXPECT_FALSE(IsShardedKey("obliv"));
+  EXPECT_TRUE(IsRegisteredSummarizer("sharded:4:obliv"));
+  EXPECT_TRUE(IsRegisteredSummarizer("sharded:2:sharded:2:product"));
+  EXPECT_FALSE(IsRegisteredSummarizer("sharded:2:nope"));
+}
+
+TEST(Sharded, TotalPreservedExactlyAndSizeIsS) {
+  Rng data_rng(41);
+  const auto items = RandomItems(20000, 1 << 14, &data_rng);
+  Weight exact_total = 0.0;
+  for (const auto& it : items) exact_total += it.weight;
+
+  for (const std::string key :
+       {std::string("sharded:4:obliv"), std::string("sharded:3:product"),
+        std::string("sharded:2:aware"), std::string("sharded:2:order")}) {
+    SummarizerConfig cfg;
+    cfg.s = 500.0;
+    cfg.seed = 9001;
+    const auto summary = Build(key, cfg, items);
+    EXPECT_EQ(summary->Name(), key);
+    ASSERT_NE(summary->AsSample(), nullptr) << key;
+    // VarOpt merge preserves the total estimate deterministically and
+    // keeps the sample size at s (+-1 for floating-point residue).
+    EXPECT_NEAR(summary->AsSample()->sample().EstimateTotal() / exact_total,
+                1.0, 1e-9)
+        << key;
+    EXPECT_NEAR(static_cast<double>(summary->SizeInElements()), 500.0, 1.0)
+        << key;
+  }
+}
+
+TEST(Sharded, BoxEstimatesWithinHtToleranceOfUnsharded) {
+  Rng data_rng(42);
+  const auto items = RandomItems(20000, 1 << 14, &data_rng);
+  const Box box{{0, 1 << 13}, {0, 1 << 14}};  // ~half the domain
+  const Weight exact = ExactBox(items, box);
+  ASSERT_GT(exact, 0.0);
+
+  // Both the sharded and the unsharded builds are unbiased HT estimators
+  // of `exact`; averaged over seeds their means must both land within a
+  // few standard errors. With s=1000 a single estimate is already within a
+  // few percent, so a 10-seed mean at 3% is a comfortable HT bound.
+  for (const std::string inner : {std::string("obliv"),
+                                  std::string("product"),
+                                  std::string("aware")}) {
+    double sharded_mean = 0.0, unsharded_mean = 0.0;
+    const int seeds = 10;
+    for (int t = 0; t < seeds; ++t) {
+      SummarizerConfig cfg;
+      cfg.s = 1000.0;
+      cfg.seed = 1234 + static_cast<std::uint64_t>(t);
+      sharded_mean +=
+          Build("sharded:4:" + inner, cfg, items)->EstimateBox(box);
+      unsharded_mean += Build(inner, cfg, items)->EstimateBox(box);
+    }
+    sharded_mean /= seeds;
+    unsharded_mean /= seeds;
+    EXPECT_NEAR(sharded_mean / exact, 1.0, 0.03) << inner;
+    EXPECT_NEAR(unsharded_mean / exact, 1.0, 0.03) << inner;
+    EXPECT_NEAR(sharded_mean / unsharded_mean, 1.0, 0.05) << inner;
+  }
+}
+
+TEST(Sharded, DeterministicForFixedSeedAndShardCount) {
+  Rng data_rng(43);
+  const auto items = RandomItems(30000, 1 << 14, &data_rng);
+  SummarizerConfig cfg;
+  cfg.s = 400.0;
+  cfg.seed = 77;
+
+  const auto r1 = Build("sharded:4:obliv", cfg, items);
+  const auto r2 = Build("sharded:4:obliv", cfg, items);
+  const Sample& s1 = r1->AsSample()->sample();
+  const Sample& s2 = r2->AsSample()->sample();
+  ASSERT_EQ(s1.size(), s2.size());
+  EXPECT_DOUBLE_EQ(s1.tau(), s2.tau());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1.entries()[i].id, s2.entries()[i].id) << i;
+    EXPECT_DOUBLE_EQ(s1.entries()[i].weight, s2.entries()[i].weight) << i;
+  }
+
+  // A different shard count is a different (still unbiased) scheme.
+  const auto r3 = Build("sharded:2:obliv", cfg, items);
+  EXPECT_NE(r3->AsSample()->sample().tau(), s1.tau());
+}
+
+TEST(Sharded, PerItemAddMatchesAddBatch) {
+  Rng data_rng(44);
+  const auto items = RandomItems(9000, 1 << 12, &data_rng);
+  SummarizerConfig cfg;
+  cfg.s = 200.0;
+  cfg.seed = 5;
+
+  auto one = MakeSummarizer("sharded:3:obliv", cfg);
+  for (const auto& it : items) one->Add(it);
+  auto batch = MakeSummarizer("sharded:3:obliv", cfg);
+  batch->AddBatch(items);
+
+  const auto ra = one->Finalize();
+  const auto rb = batch->Finalize();
+  const Sample& sa = ra->AsSample()->sample();
+  const Sample& sb = rb->AsSample()->sample();
+  ASSERT_EQ(sa.size(), sb.size());
+  EXPECT_DOUBLE_EQ(sa.tau(), sb.tau());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa.entries()[i].id, sb.entries()[i].id);
+  }
+}
+
+TEST(Sharded, SingleShardStillGoesThroughWorker) {
+  Rng data_rng(45);
+  const auto items = RandomItems(5000, 1 << 12, &data_rng);
+  SummarizerConfig cfg;
+  cfg.s = 100.0;
+  const auto summary = Build("sharded:1:obliv", cfg, items);
+  EXPECT_EQ(summary->SizeInElements(), 100u);
+  EXPECT_EQ(summary->Name(), "sharded:1:obliv");
+}
+
+TEST(Sharded, NestedShardingComposes) {
+  Rng data_rng(46);
+  const auto items = RandomItems(12000, 1 << 12, &data_rng);
+  Weight exact_total = 0.0;
+  for (const auto& it : items) exact_total += it.weight;
+  SummarizerConfig cfg;
+  cfg.s = 300.0;
+  const auto summary = Build("sharded:2:sharded:2:obliv", cfg, items);
+  EXPECT_NEAR(summary->AsSample()->sample().EstimateTotal() / exact_total,
+              1.0, 1e-9);
+}
+
+TEST(Sharded, NestedPartitionsAreIndependent) {
+  // The partition hash is seed-salted, so an inner wrapper (whose seed is
+  // forked from the outer one) spreads an outer shard's items across all
+  // of its shards even when the shard counts share a factor. With an
+  // unsalted Mix64(id) % N this degenerates: every id an outer 2-way
+  // partition routes to shard b would land on inner shard b again, and
+  // the other inner shard would receive nothing.
+  const std::uint64_t outer_seed = 11;
+  for (int outer_shard = 0; outer_shard < 2; ++outer_shard) {
+    const std::uint64_t inner_seed =
+        ForkSeed(outer_seed, static_cast<std::uint64_t>(outer_shard));
+    int inner_counts[2] = {0, 0};
+    for (KeyId id = 0; id < 20000; ++id) {
+      if (ShardIndex(id, outer_seed, 2) !=
+          static_cast<std::size_t>(outer_shard)) {
+        continue;
+      }
+      ++inner_counts[ShardIndex(id, inner_seed, 2)];
+    }
+    const int total = inner_counts[0] + inner_counts[1];
+    ASSERT_GT(total, 8000);
+    // Roughly balanced spread, not all-or-nothing.
+    EXPECT_GT(inner_counts[0], total / 3) << "outer shard " << outer_shard;
+    EXPECT_GT(inner_counts[1], total / 3) << "outer shard " << outer_shard;
+  }
+}
+
+TEST(Sharded, AddCoordsUnsupported) {
+  SummarizerConfig cfg;
+  cfg.s = 50.0;
+  cfg.structure = StructureSpec::Nd(2);
+  auto builder = MakeSummarizer("sharded:2:nd", cfg);
+  const Coord coords[2] = {1, 2};
+  EXPECT_THROW(builder->AddCoords(coords, 2, 1.0), std::logic_error);
+  builder->Add({0, 1.0, {1, 2}});  // the Add path works
+  EXPECT_EQ(builder->Finalize()->SizeInElements(), 1u);
+}
+
+TEST(Sharded, FractionalSizeRejected) {
+  SummarizerConfig cfg;
+  cfg.s = 0.5;  // merged budget is integral
+  EXPECT_THROW(MakeSummarizer("sharded:2:product", cfg),
+               std::invalid_argument);
+}
+
+TEST(Sharded, InnerFinalizeErrorPropagates) {
+  // The nd inner method rejects mixing dims at Add time inside the worker;
+  // the error must surface from Finalize, not crash a thread.
+  SummarizerConfig cfg;
+  cfg.s = 10.0;
+  cfg.structure = StructureSpec::Nd(3);  // dims > 2: Add throws in worker
+  auto builder = MakeSummarizer("sharded:2:nd", cfg);
+  std::vector<WeightedKey> items;
+  for (KeyId i = 0; i < 20000; ++i) items.push_back({i, 1.0, {i, i}});
+  builder->AddBatch(items);
+  EXPECT_THROW(builder->Finalize(), std::logic_error);
+}
+
+TEST(Sharded, AddAfterFinalizeThrows) {
+  // A finalized builder is spent; Add must fail fast instead of queueing
+  // into (or blocking on) closed worker queues.
+  SummarizerConfig cfg;
+  cfg.s = 10.0;
+  auto builder = MakeSummarizer("sharded:2:obliv", cfg);
+  builder->Add({0, 1.0, {0, 0}});
+  (void)builder->Finalize();
+  EXPECT_THROW(builder->Add({1, 1.0, {1, 0}}), std::logic_error);
+}
+
+TEST(Sharded, DestructionWithoutFinalizeJoinsWorkers) {
+  Rng data_rng(47);
+  const auto items = RandomItems(20000, 1 << 12, &data_rng);
+  SummarizerConfig cfg;
+  cfg.s = 100.0;
+  {
+    auto builder = MakeSummarizer("sharded:4:obliv", cfg);
+    builder->AddBatch(items);
+    // No Finalize: the destructor must close queues and join cleanly.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sas

@@ -122,6 +122,46 @@ TEST(Rng, SplitsDistinct) {
   EXPECT_NE(c1.Next(), c2.Next());
 }
 
+TEST(Rng, ForkIsDeterministicAndDoesNotAdvanceParent) {
+  Rng parent(41);
+  Rng c1 = parent.Fork(3);
+  Rng c2 = parent.Fork(3);
+  // Same stream index twice: identical children, parent untouched.
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(c1.Next(), c2.Next());
+  Rng fresh(41);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(parent.Next(), fresh.Next());
+}
+
+TEST(Rng, ForkStreamsAreIndependent) {
+  Rng parent(43);
+  Rng a = parent.Fork(0);
+  Rng b = parent.Fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkManyStreamsDistinct) {
+  Rng parent(47);
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    firsts.insert(parent.Fork(i).Next());
+  }
+  EXPECT_EQ(firsts.size(), 256u);
+}
+
+TEST(ForkSeed, DeterministicAndSpread) {
+  EXPECT_EQ(ForkSeed(1, 0), ForkSeed(1, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seeds.insert(ForkSeed(12345, stream));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+  EXPECT_NE(ForkSeed(1, 7), ForkSeed(2, 7));
+}
+
 TEST(SplitMix, KnownAvalanche) {
   // Mix64 should change about half the bits for a 1-bit input change.
   int total = 0;

@@ -42,6 +42,31 @@ TEST(BuildMethods, SampleSizesExact) {
   EXPECT_EQ(built[1].summary->SizeInElements(), 64u);  // obliv
 }
 
+TEST(BuildMethods, AcceptsShardedKeys) {
+  // Composed sharded keys flow through the harness like any other method
+  // key: built via worker threads, evaluated over the same batteries.
+  const auto ds = SmallDataset();
+  const auto built =
+      BuildMethods(ds, 100, {"sharded:2:obliv", "sharded:4:aware"}, 99);
+  ASSERT_EQ(built.size(), 2u);
+  EXPECT_EQ(built[0].summary->Name(), "sharded:2:obliv");
+  EXPECT_EQ(built[1].summary->Name(), "sharded:4:aware");
+  // Merged VarOpt size is s up to a +-1 floating-point residual.
+  EXPECT_NEAR(static_cast<double>(built[0].summary->SizeInElements()), 100.0,
+              1.0);
+  EXPECT_NEAR(static_cast<double>(built[1].summary->SizeInElements()), 100.0,
+              1.0);
+
+  Rng rng(3);
+  const auto battery =
+      UniformAreaQueries(ds.items, ds.domain, 8, 5, 0.4, &rng);
+  for (const auto& b : built) {
+    const auto result = EvaluateOnBattery(b, battery);
+    EXPECT_EQ(result.errors.count, 8u);
+    EXPECT_LT(result.errors.mean_abs, 0.5);
+  }
+}
+
 TEST(EvaluateOnBattery, ErrorsAreFiniteAndSmallForSamples) {
   const auto ds = SmallDataset();
   Rng rng(9);
