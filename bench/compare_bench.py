@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on regressions.
+
+Usage:
+    compare_bench.py BASELINE.json CANDIDATE.json [--threshold PCT]
+                     [--filter SUBSTR]
+
+For every benchmark present in both files the median real time is compared
+(the `*_median` aggregate when the run used --benchmark_repetitions, the
+single run's real_time otherwise). The tool exits non-zero when any shared
+benchmark's candidate median exceeds the baseline median by more than
+--threshold percent (default 15). Benchmarks present in only one file are
+reported but never fail the gate, so adding or retiring benchmarks does not
+break CI.
+
+This is the regression gate behind the checked-in BENCH_core.json /
+BENCH_shard.json baselines; see the README for how to re-baseline.
+"""
+
+import argparse
+import json
+import sys
+
+
+# Stable machine-class descriptors only: host_name is deliberately excluded
+# (CI runners get a fresh hostname per job, which would keep the gate
+# permanently in its informational mode).
+CONTEXT_KEYS = ("num_cpus", "mhz_per_cpu")
+
+
+def load_medians(path):
+    """Returns ({benchmark name: median real time}, units, context)."""
+    with open(path) as f:
+        data = json.load(f)
+    context = {k: data.get("context", {}).get(k) for k in CONTEXT_KEYS}
+    medians = {}
+    units = {}
+    singles = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        run_type = bench.get("run_type", "iteration")
+        if run_type == "aggregate":
+            if bench.get("aggregate_name") == "median":
+                base = name[: -len("_median")]
+                medians[base] = bench["real_time"]
+                units[base] = bench.get("time_unit", "ns")
+        else:
+            # Repeated runs emit one iteration entry per repetition under the
+            # same name; collect them and take the median ourselves.
+            singles.setdefault(name, []).append(bench["real_time"])
+            units.setdefault(name, bench.get("time_unit", "ns"))
+    for name, times in singles.items():
+        if name not in medians:
+            times.sort()
+            mid = len(times) // 2
+            if len(times) % 2:
+                medians[name] = times[mid]
+            else:
+                medians[name] = 0.5 * (times[mid - 1] + times[mid])
+    return medians, units, context
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=15.0,
+        help="max allowed median regression in percent (default 15)",
+    )
+    parser.add_argument(
+        "--filter",
+        default="",
+        help="only compare benchmarks whose name contains this substring",
+    )
+    parser.add_argument(
+        "--skip-on-context-mismatch",
+        action="store_true",
+        help="report but do not fail when the two files were recorded on "
+        "different hardware (host/cpu context); used by CI so a checked-in "
+        "baseline from another machine class degrades to informational "
+        "until it is re-recorded there",
+    )
+    args = parser.parse_args()
+
+    base, units, base_ctx = load_medians(args.baseline)
+    cand, cand_units, cand_ctx = load_medians(args.candidate)
+    context_mismatch = base_ctx != cand_ctx
+    if context_mismatch:
+        # Absolute medians are only comparable on matching hardware; a
+        # mismatch usually means the checked-in baseline needs re-recording
+        # on this machine class (see README "Re-baselining").
+        print(
+            "warning: baseline and candidate were recorded on different "
+            f"hardware ({base_ctx} vs {cand_ctx}); ratios may reflect the "
+            "machine, not the code",
+            file=sys.stderr,
+        )
+    if args.filter:
+        base = {k: v for k, v in base.items() if args.filter in k}
+        cand = {k: v for k, v in cand.items() if args.filter in k}
+
+    shared = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    if not shared:
+        print("error: no shared benchmarks between the two files",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  "
+          f"{'ratio':>7}")
+    for name in shared:
+        unit = units.get(name, "ns")
+        cunit = cand_units.get(name, "ns")
+        if unit != cunit:
+            print(f"note: {name} changed time unit ({unit} -> {cunit}); "
+                  f"skipped — re-record the baseline")
+            continue
+        b, c = base[name], cand[name]
+        ratio = c / b if b > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold / 100.0:
+            flag = "  REGRESSION"
+            regressions.append((name, ratio))
+        print(f"{name:<{width}}  {b:>10.1f}{unit}  {c:>10.1f}{cunit}  "
+              f"{ratio:>6.2f}x{flag}")
+
+    for name in only_base:
+        print(f"note: {name} only in baseline (skipped)")
+    for name in only_cand:
+        print(f"note: {name} only in candidate (skipped)")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
+            f"{args.threshold:.0f}% over baseline:",
+            file=sys.stderr,
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        if context_mismatch and args.skip_on_context_mismatch:
+            print(
+                "note: hardware context mismatch and "
+                "--skip-on-context-mismatch given; reporting only. "
+                "Re-record the baseline on this machine class to arm the "
+                "gate.",
+                file=sys.stderr,
+            )
+            return 0
+        return 1
+    print(f"\nOK: {len(shared)} benchmark(s) within {args.threshold:.0f}% "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

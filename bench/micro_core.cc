@@ -5,18 +5,59 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <numeric>
 #include <vector>
 
 #include "api/registry.h"
 #include "aware/kd_hierarchy.h"
+#include "aware/order_summarizer.h"
 #include "aware/two_pass.h"
 #include "core/ipps.h"
 #include "core/pair_aggregate.h"
 #include "core/random.h"
 #include "sampling/stream_varopt.h"
 
+// Global allocation counter: every operator new in the process bumps it, so
+// a benchmark can assert a hot path is allocation-free in steady state by
+// differencing the counter around the timed loop (see BM_SolveTau).
+static std::atomic<std::size_t> g_alloc_count{0};
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // C11 aligned_alloc may reject sizes that are not a multiple of the
+  // alignment; round up (glibc tolerates it, strict platforms do not).
+  const auto a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) & ~(a - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
 namespace sas {
 namespace {
+
+std::vector<Weight> ParetoWeights(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Weight> w(n);
+  for (auto& x : w) x = rng.NextPareto(1.2);
+  return w;
+}
 
 void BM_PairAggregate(benchmark::State& state) {
   Rng rng(1);
@@ -59,6 +100,48 @@ void BM_StreamVarOptPush(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamVarOptPush)->Arg(100)->Arg(10000);
 
+void BM_SolveTau(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<Weight> weights = ParetoWeights(n, 11);
+  const double s = static_cast<double>(n) / 100.0;
+  // Warm up once so one-time scratch growth is not charged to the loop;
+  // the steady state must then be allocation-free.
+  benchmark::DoNotOptimize(SolveTau(weights, s));
+  const std::size_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveTau(weights, s));
+  }
+  const std::size_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(allocs) / static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SolveTau)->Arg(1000)->Arg(100000);
+
+void BM_ChainAggregate(benchmark::State& state) {
+  // Full order-structure aggregation pass over n open probabilities: the
+  // ChainAggregate hot loop as driven by OrderSummarize (Algorithm 5).
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<Weight> weights = ParetoWeights(n, 12);
+  const double tau = SolveTau(weights, static_cast<double>(n) / 100.0);
+  std::vector<double> probs0;
+  IppsProbabilities(weights, tau, &probs0);
+  for (auto& q : probs0) q = SnapProbability(q);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(13);
+  std::vector<double> work;
+  for (auto _ : state) {
+    work = probs0;
+    OrderAggregate(&work, order, &rng);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChainAggregate)->Arg(1000)->Arg(100000);
+
 void BM_KdBuild(benchmark::State& state) {
   Rng rng(5);
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -73,6 +156,24 @@ void BM_KdBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_KdBuild)->Arg(1000)->Arg(10000);
+
+void BM_KdBuildArena(benchmark::State& state) {
+  // Same build as BM_KdBuild but reusing one caller-owned scratch workspace
+  // across builds, the way the summarizer hot paths drive it.
+  Rng rng(5);
+  const std::size_t n = 10000;
+  std::vector<Point2D> pts(n);
+  std::vector<double> mass(n, 1.0);
+  for (auto& p : pts) {
+    p = {rng.NextBounded(1 << 20), rng.NextBounded(1 << 20)};
+  }
+  KdBuildScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KdHierarchy::Build(pts, mass, &scratch));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KdBuildArena);
 
 void BM_KdLocate(benchmark::State& state) {
   Rng rng(6);

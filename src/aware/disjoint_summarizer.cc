@@ -20,13 +20,17 @@ void DisjointAggregate(std::vector<double>* probs,
     }
   }
   // Stage 1: aggregate inside each range; stage 2: chain the leftovers.
+  // Both stages share one draw stream, repositioned once at the end.
+  RngStream draws(rng);
   std::vector<std::size_t> leftovers;
   for (const auto& bucket : buckets) {
-    const std::size_t l = ChainAggregate(probs, bucket, kNoEntry, rng);
+    const std::size_t l = ChainAggregateRange(probs->data(), bucket.data(),
+                                              bucket.size(), kNoEntry, &draws);
     if (l != kNoEntry) leftovers.push_back(l);
   }
-  const std::size_t final_entry = ChainAggregate(probs, leftovers, kNoEntry, rng);
-  ResolveResidual(probs, final_entry, rng);
+  const std::size_t final_entry = ChainAggregateRange(
+      probs->data(), leftovers.data(), leftovers.size(), kNoEntry, &draws);
+  ResolveResidual(probs->data(), final_entry, &draws);
 }
 
 SummarizeResult DisjointSummarize(const std::vector<WeightedKey>& items,

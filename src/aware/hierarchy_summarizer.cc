@@ -15,6 +15,7 @@ void HierarchyAggregate(std::vector<double>* probs, const Hierarchy& h,
   // bottom-up (children before parents) order.
   std::vector<std::size_t> leftover(n, kNoEntry);
   std::vector<std::size_t> child_entries;
+  RngStream draws(rng);
   for (int v = n - 1; v >= 0; --v) {
     if (h.is_leaf(v)) {
       const KeyId k = h.key_of_leaf(v);
@@ -25,9 +26,10 @@ void HierarchyAggregate(std::vector<double>* probs, const Hierarchy& h,
     for (int c : h.children(v)) {
       if (leftover[c] != kNoEntry) child_entries.push_back(leftover[c]);
     }
-    leftover[v] = ChainAggregate(probs, child_entries, kNoEntry, rng);
+    leftover[v] = ChainAggregateRange(probs->data(), child_entries.data(),
+                                      child_entries.size(), kNoEntry, &draws);
   }
-  ResolveResidual(probs, leftover[h.root()], rng);
+  ResolveResidual(probs->data(), leftover[h.root()], &draws);
 }
 
 SummarizeResult HierarchySummarize(const std::vector<WeightedKey>& items,

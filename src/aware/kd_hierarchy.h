@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "aware/kd_scratch.h"
 #include "core/types.h"
 
 namespace sas {
@@ -40,8 +41,19 @@ class KdHierarchy {
   /// Builds the tree over points with per-point mass (IPPS probabilities or
   /// uniform 1s). Points should be distinct; exact duplicates are kept
   /// together in one leaf.
+  ///
+  /// The build sorts each axis once up front and maintains both axis orders
+  /// through stable partitions, so the per-level work is linear (the classic
+  /// per-node re-sort made it O(n log^2 n)). All working memory — axis
+  /// orders, partition buffer, task stack, and the SoA node accumulators —
+  /// comes from the scratch arena; builds against a warm scratch allocate
+  /// only the returned tree. The overload without a scratch uses an
+  /// internal thread-local workspace.
   static KdHierarchy Build(const std::vector<Point2D>& pts,
                            const std::vector<double>& mass);
+  static KdHierarchy Build(const std::vector<Point2D>& pts,
+                           const std::vector<double>& mass,
+                           KdBuildScratch* scratch);
 
   const std::vector<Node>& nodes() const { return nodes_; }
   int root() const { return nodes_.empty() ? kNull : 0; }

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <limits>
-#include <numeric>
 
 #include "core/ipps.h"
 #include "core/pair_aggregate.h"
@@ -21,86 +21,155 @@ bool BoxNContains(const BoxN& box, const Coord* pt) {
 KdHierarchyNd KdHierarchyNd::Build(const std::vector<Coord>& coords,
                                    int dims,
                                    const std::vector<double>& mass) {
+  thread_local KdBuildScratch scratch;
+  return Build(coords, dims, mass, &scratch);
+}
+
+KdHierarchyNd KdHierarchyNd::Build(const std::vector<Coord>& coords,
+                                   int dims,
+                                   const std::vector<double>& mass,
+                                   KdBuildScratch* scratch) {
   assert(dims >= 1);
   assert(coords.size() == mass.size() * dims);
   KdHierarchyNd tree;
   tree.dims_ = dims;
   const std::size_t n = mass.size();
   if (n == 0) return tree;
-  tree.item_order_.resize(n);
-  std::iota(tree.item_order_.begin(), tree.item_order_.end(), 0);
-  tree.nodes_.reserve(2 * n);
-  tree.nodes_.push_back({});
+  MonotonicArena& arena = scratch->arena;
+  arena.Reset();
 
-  auto axis_coord = [&](std::size_t item, int axis) {
-    return coords[item * dims + axis];
+  auto axis_coord = [&](std::uint32_t item, int axis) {
+    return coords[static_cast<std::size_t>(item) * dims + axis];
   };
+
+  // One item order per axis, each sorted once (coordinate, then index);
+  // splits maintain all d orders with stable partitions — the same
+  // sort-once scheme as the 2-D build, generalized.
+  std::uint32_t** ord = arena.AllocateArray<std::uint32_t*>(dims);
+  for (int axis = 0; axis < dims; ++axis) {
+    ord[axis] = arena.AllocateArray<std::uint32_t>(n);
+    std::uint32_t* o = ord[axis];
+    for (std::size_t i = 0; i < n; ++i) o[i] = static_cast<std::uint32_t>(i);
+    std::sort(o, o + n, [&](std::uint32_t a, std::uint32_t b) {
+      const Coord ca = axis_coord(a, axis);
+      const Coord cb = axis_coord(b, axis);
+      return ca != cb ? ca < cb : a < b;
+    });
+  }
+  std::uint32_t* part_tmp = arena.AllocateArray<std::uint32_t>(n);
 
   struct Task {
-    int node;
-    std::size_t begin, end;
-    int depth;
+    std::int32_t node;
+    std::uint32_t begin, end;
+    std::int32_t depth;
+    std::int32_t parent_axis;  // -1 for the root
   };
-  std::vector<Task> stack{{0, 0, n, 0}};
-  while (!stack.empty()) {
-    const Task t = stack.back();
-    stack.pop_back();
-    auto& order = tree.item_order_;
-    {
-      Node& node = tree.nodes_[t.node];
-      node.begin = t.begin;
-      node.end = t.end;
-      node.mass = 0.0;
-      for (std::size_t i = t.begin; i < t.end; ++i) {
-        node.mass += mass[order[i]];
-      }
-      if (t.end - t.begin <= 1) continue;
+  const std::size_t node_cap = 2 * n;
+  static_assert(kNull == -1,
+                "KdNodeSoA::Emplace hardcodes -1 as the null child");
+  KdNodeSoA soa;
+  soa.Init(&arena, node_cap);
+
+  Task* stack = arena.AllocateArray<Task>(n + 1);
+  std::size_t stack_size = 0;
+  tree.item_order_.resize(n);
+  std::int32_t num_nodes = 1;
+  soa.Emplace(0, kNull);
+  stack[stack_size++] = {0, 0, static_cast<std::uint32_t>(n), 0, -1};
+  while (stack_size > 0) {
+    const Task t = stack[--stack_size];
+    soa.begin[t.node] = t.begin;
+    soa.end[t.node] = t.end;
+    double total = 0.0;
+    if (t.parent_axis < 0) {
+      for (std::uint32_t i = t.begin; i < t.end; ++i) total += mass[i];
+    } else {
+      const std::uint32_t* po = ord[t.parent_axis];
+      for (std::uint32_t i = t.begin; i < t.end; ++i) total += mass[po[i]];
+    }
+    soa.mass[t.node] = total;
+    if (t.end - t.begin <= 1) {
+      if (t.end > t.begin) tree.item_order_[t.begin] = ord[0][t.begin];
+      continue;
     }
 
     int axis = t.depth % dims;
+    int used_axis = axis;
     bool split_found = false;
-    std::size_t split_pos = 0;
+    std::uint32_t split_pos = t.begin;
     Coord split_val = 0;
-    double total = tree.nodes_[t.node].mass;
     for (int attempt = 0; attempt < dims && !split_found;
          ++attempt, axis = (axis + 1) % dims) {
-      std::sort(order.begin() + t.begin, order.begin() + t.end,
-                [&](std::size_t a, std::size_t b) {
-                  return axis_coord(a, axis) < axis_coord(b, axis);
-                });
-      if (axis_coord(order[t.begin], axis) ==
-          axis_coord(order[t.end - 1], axis)) {
+      const std::uint32_t* o = ord[axis];
+      if (axis_coord(o[t.begin], axis) == axis_coord(o[t.end - 1], axis)) {
         continue;
       }
       double run = 0.0;
       double best_gap = std::numeric_limits<double>::infinity();
-      for (std::size_t i = t.begin; i + 1 < t.end; ++i) {
-        run += mass[order[i]];
-        if (axis_coord(order[i], axis) == axis_coord(order[i + 1], axis)) {
+      for (std::uint32_t i = t.begin; i + 1 < t.end; ++i) {
+        run += mass[o[i]];
+        if (axis_coord(o[i], axis) == axis_coord(o[i + 1], axis)) {
           continue;
         }
         const double gap = std::fabs(total - 2.0 * run);
         if (gap < best_gap) {
           best_gap = gap;
           split_pos = i + 1;
-          split_val = axis_coord(order[i + 1], axis);
+          split_val = axis_coord(o[i + 1], axis);
         }
       }
       split_found = split_pos > t.begin;
+      used_axis = axis;
     }
-    if (!split_found) continue;  // all points identical: one leaf
-    const int used_axis = (axis + dims - 1) % dims;
-    const int left = static_cast<int>(tree.nodes_.size());
-    tree.nodes_.push_back({});
-    const int right = static_cast<int>(tree.nodes_.size());
-    tree.nodes_.push_back({});
-    Node& nd = tree.nodes_[t.node];
-    nd.axis = used_axis;
-    nd.split = split_val;
-    nd.left = left;
-    nd.right = right;
-    stack.push_back({right, split_pos, t.end, t.depth + 1});
-    stack.push_back({left, t.begin, split_pos, t.depth + 1});
+    if (!split_found) {
+      // All points identical: one leaf, emitted in the order of the last
+      // attempted axis (ties are index-ordered, so any axis agrees).
+      const std::uint32_t* o = ord[(t.depth + dims - 1) % dims];
+      for (std::uint32_t i = t.begin; i < t.end; ++i) {
+        tree.item_order_[i] = o[i];
+      }
+      continue;
+    }
+    // Stable-partition every other axis order around the split coordinate.
+    for (int a = 0; a < dims; ++a) {
+      if (a == used_axis) continue;
+      std::uint32_t* o2 = ord[a];
+      std::uint32_t nl = t.begin, nr = 0;
+      for (std::uint32_t i = t.begin; i < t.end; ++i) {
+        const std::uint32_t item = o2[i];
+        if (axis_coord(item, used_axis) < split_val) {
+          o2[nl++] = item;
+        } else {
+          part_tmp[nr++] = item;
+        }
+      }
+      assert(nl == split_pos);
+      std::copy(part_tmp, part_tmp + nr, o2 + nl);
+    }
+
+    const std::int32_t left = num_nodes++;
+    const std::int32_t right = num_nodes++;
+    soa.Emplace(left, t.node);
+    soa.Emplace(right, t.node);
+    soa.axis[t.node] = used_axis;
+    soa.split[t.node] = split_val;
+    soa.left[t.node] = left;
+    soa.right[t.node] = right;
+    stack[stack_size++] = {right, split_pos, t.end, t.depth + 1, used_axis};
+    stack[stack_size++] = {left, t.begin, split_pos, t.depth + 1, used_axis};
+  }
+
+  assert(static_cast<std::size_t>(num_nodes) < node_cap);
+  tree.nodes_.resize(num_nodes);
+  for (std::int32_t v = 0; v < num_nodes; ++v) {
+    Node& nd = tree.nodes_[v];
+    nd.left = soa.left[v];
+    nd.right = soa.right[v];
+    nd.axis = soa.axis[v];
+    nd.split = soa.split[v];
+    nd.mass = soa.mass[v];
+    nd.begin = soa.begin[v];
+    nd.end = soa.end[v];
   }
   return tree;
 }
@@ -134,30 +203,35 @@ ResultNd ProductSummarizeNd(const std::vector<Coord>& coords, int dims,
   const KdHierarchyNd tree = KdHierarchyNd::Build(sub_coords, dims, sub_mass);
 
   // Bottom-up lowest-LCA aggregation (children follow parents in node
-  // order, so a reverse scan is bottom-up).
+  // order, so a reverse scan is bottom-up). All per-node chains share one
+  // draw stream, repositioned once at the end of the pass.
   std::vector<double> work = sub_mass;
   const int n = tree.num_nodes();
   std::vector<std::size_t> leftover(std::max(n, 1), kNoEntry);
   std::vector<std::size_t> entries;
-  for (int v = n - 1; v >= 0; --v) {
-    const auto& node = tree.nodes()[v];
-    entries.clear();
-    if (node.IsLeaf()) {
-      for (std::size_t i = node.begin; i < node.end; ++i) {
-        const std::size_t item = tree.item_order()[i];
-        if (!IsSet(work[item])) entries.push_back(item);
+  {
+    RngStream draws(rng);
+    for (int v = n - 1; v >= 0; --v) {
+      const auto& node = tree.nodes()[v];
+      entries.clear();
+      if (node.IsLeaf()) {
+        for (std::size_t i = node.begin; i < node.end; ++i) {
+          const std::size_t item = tree.item_order()[i];
+          if (!IsSet(work[item])) entries.push_back(item);
+        }
+      } else {
+        if (leftover[node.left] != kNoEntry) {
+          entries.push_back(leftover[node.left]);
+        }
+        if (leftover[node.right] != kNoEntry) {
+          entries.push_back(leftover[node.right]);
+        }
       }
-    } else {
-      if (leftover[node.left] != kNoEntry) {
-        entries.push_back(leftover[node.left]);
-      }
-      if (leftover[node.right] != kNoEntry) {
-        entries.push_back(leftover[node.right]);
-      }
+      leftover[v] = ChainAggregateRange(work.data(), entries.data(),
+                                        entries.size(), kNoEntry, &draws);
     }
-    leftover[v] = ChainAggregate(&work, entries, kNoEntry, rng);
+    if (n > 0) ResolveResidual(work.data(), leftover[tree.root()], &draws);
   }
-  if (n > 0) ResolveResidual(&work, leftover[tree.root()], rng);
   for (std::size_t j = 0; j < open.size(); ++j) {
     if (work[j] == 1.0) out.chosen.push_back(open[j]);
   }

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "aware/kd_scratch.h"
 #include "core/random.h"
 #include "core/types.h"
 
@@ -40,9 +41,16 @@ class KdHierarchyNd {
   };
 
   /// Builds over n = coords.size()/dims points with per-point mass,
-  /// splitting axes round-robin at weighted medians.
+  /// splitting axes round-robin at weighted medians. Like
+  /// KdHierarchy::Build, the build sorts each axis once, maintains the d
+  /// axis orders through stable partitions, and draws all working memory
+  /// from the scratch arena; the overload without a scratch uses an
+  /// internal thread-local workspace.
   static KdHierarchyNd Build(const std::vector<Coord>& coords, int dims,
                              const std::vector<double>& mass);
+  static KdHierarchyNd Build(const std::vector<Coord>& coords, int dims,
+                             const std::vector<double>& mass,
+                             KdBuildScratch* scratch);
 
   const std::vector<Node>& nodes() const { return nodes_; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }

@@ -8,8 +8,10 @@ namespace sas {
 
 void OrderAggregate(std::vector<double>* probs,
                     const std::vector<std::size_t>& order, Rng* rng) {
-  const std::size_t leftover = ChainAggregate(probs, order, kNoEntry, rng);
-  ResolveResidual(probs, leftover, rng);
+  RngStream draws(rng);
+  const std::size_t leftover = ChainAggregateRange(
+      probs->data(), order.data(), order.size(), kNoEntry, &draws);
+  ResolveResidual(probs->data(), leftover, &draws);
 }
 
 SummarizeResult OrderSummarize(const std::vector<WeightedKey>& items,

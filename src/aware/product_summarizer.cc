@@ -15,6 +15,7 @@ void KdAggregate(std::vector<double>* probs, const KdHierarchy& tree,
   // bottom-up.
   std::vector<std::size_t> leftover(n, kNoEntry);
   std::vector<std::size_t> entries;
+  RngStream draws(rng);
   for (int v = n - 1; v >= 0; --v) {
     const auto& node = tree.nodes()[v];
     entries.clear();
@@ -31,9 +32,10 @@ void KdAggregate(std::vector<double>* probs, const KdHierarchy& tree,
         entries.push_back(leftover[node.right]);
       }
     }
-    leftover[v] = ChainAggregate(probs, entries, kNoEntry, rng);
+    leftover[v] = ChainAggregateRange(probs->data(), entries.data(),
+                                      entries.size(), kNoEntry, &draws);
   }
-  ResolveResidual(probs, leftover[tree.root()], rng);
+  ResolveResidual(probs->data(), leftover[tree.root()], &draws);
 }
 
 SummarizeResult ProductSummarize(const std::vector<WeightedKey>& items,

@@ -116,6 +116,7 @@ Sample TwoPassProductSampler::Finalize() {
   }
   const int n = partition_.num_nodes();
   std::size_t root_leftover = kNoEntry;
+  RngStream draws(&rng_);
   if (n == 0) {
     // Catch-all cell only.
     if (entry_of_cell[0] != kNoEntry) root_leftover = entry_of_cell[0];
@@ -136,11 +137,13 @@ Sample TwoPassProductSampler::Finalize() {
           entries.push_back(leftover[node.right]);
         }
       }
-      leftover[v] = ChainAggregate(&aprobs, entries, kNoEntry, &rng_);
+      leftover[v] = ChainAggregateRange(aprobs.data(), entries.data(),
+                                        entries.size(), kNoEntry, &draws);
     }
     root_leftover = leftover[partition_.root()];
   }
-  ResolveResidual(&aprobs, root_leftover, &rng_);
+  ResolveResidual(aprobs.data(), root_leftover, &draws);
+  draws.Flush();
   for (std::size_t e = 0; e < akeys.size(); ++e) {
     if (aprobs[e] == 1.0) sample_.push_back(akeys[e]);
   }
@@ -232,8 +235,12 @@ Sample TwoPassOrderSample(const std::vector<WeightedKey>& items, double s,
   }
   std::vector<std::size_t> order(akeys.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  const std::size_t leftover = ChainAggregate(&aprobs, order, kNoEntry, &local);
-  ResolveResidual(&aprobs, leftover, &local);
+  {
+    RngStream draws(&local);
+    const std::size_t leftover = ChainAggregateRange(
+        aprobs.data(), order.data(), order.size(), kNoEntry, &draws);
+    ResolveResidual(aprobs.data(), leftover, &draws);
+  }
   for (std::size_t e = 0; e < akeys.size(); ++e) {
     if (aprobs[e] == 1.0) sample.push_back(akeys[e]);
   }
@@ -338,8 +345,12 @@ Sample TwoPassDisjointSample(const std::vector<WeightedKey>& items,
   }
   std::vector<std::size_t> order(akeys.size());
   std::iota(order.begin(), order.end(), 0);
-  const std::size_t leftover = ChainAggregate(&aprobs, order, kNoEntry, &local);
-  ResolveResidual(&aprobs, leftover, &local);
+  {
+    RngStream draws(&local);
+    const std::size_t leftover = ChainAggregateRange(
+        aprobs.data(), order.data(), order.size(), kNoEntry, &draws);
+    ResolveResidual(aprobs.data(), leftover, &draws);
+  }
   for (std::size_t e = 0; e < akeys.size(); ++e) {
     if (aprobs[e] == 1.0) sample.push_back(akeys[e]);
   }
@@ -425,17 +436,21 @@ Sample TwoPassHierarchySample(const std::vector<WeightedKey>& items,
   }
   std::vector<std::size_t> leftover(h.num_nodes(), kNoEntry);
   std::vector<std::size_t> entries;
-  for (int v = h.num_nodes() - 1; v >= 0; --v) {
-    entries.clear();
-    if (selected[v] && entry_of_cell[cell_of_node[v]] != kNoEntry) {
-      entries.push_back(entry_of_cell[cell_of_node[v]]);
+  {
+    RngStream draws(&local);
+    for (int v = h.num_nodes() - 1; v >= 0; --v) {
+      entries.clear();
+      if (selected[v] && entry_of_cell[cell_of_node[v]] != kNoEntry) {
+        entries.push_back(entry_of_cell[cell_of_node[v]]);
+      }
+      for (int c : h.children(v)) {
+        if (leftover[c] != kNoEntry) entries.push_back(leftover[c]);
+      }
+      leftover[v] = ChainAggregateRange(aprobs.data(), entries.data(),
+                                        entries.size(), kNoEntry, &draws);
     }
-    for (int c : h.children(v)) {
-      if (leftover[c] != kNoEntry) entries.push_back(leftover[c]);
-    }
-    leftover[v] = ChainAggregate(&aprobs, entries, kNoEntry, &local);
+    ResolveResidual(aprobs.data(), leftover[h.root()], &draws);
   }
-  ResolveResidual(&aprobs, leftover[h.root()], &local);
   for (std::size_t e = 0; e < akeys.size(); ++e) {
     if (aprobs[e] == 1.0) sample.push_back(akeys[e]);
   }

@@ -6,43 +6,18 @@
 
 namespace sas {
 
-double SolveTau(const std::vector<Weight>& weights, double s) {
-  assert(s > 0.0);
-  std::vector<Weight> sorted;
-  sorted.reserve(weights.size());
-  for (Weight w : weights) {
-    assert(w >= 0.0);
-    if (w > 0.0) sorted.push_back(w);
-  }
-  const std::size_t n = sorted.size();
-  if (static_cast<double>(n) <= s) return 0.0;  // everyone has probability 1
-  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+namespace {
 
-  // Suffix sums: rest[t] = sum of sorted[t..n-1].
-  // For t keys taken with probability 1, the threshold candidate is
-  // tau(t) = rest[t] / (s - t); it is consistent iff
-  //   sorted[t-1] >= tau(t) (taken keys really have p == 1) and
-  //   sorted[t]    < tau(t) (remaining keys have p < 1).
-  std::vector<double> rest(n + 1, 0.0);
-  for (std::size_t i = n; i-- > 0;) rest[i] = rest[i + 1] + sorted[i];
-
-  const std::size_t t_max =
-      std::min(n - 1, static_cast<std::size_t>(std::floor(s)));
-  for (std::size_t t = 0; t <= t_max; ++t) {
-    const double denom = s - static_cast<double>(t);
-    if (denom <= 0.0) break;
-    const double tau = rest[t] / denom;
-    const bool upper_ok = (t == 0) || (sorted[t - 1] >= tau);
-    const bool lower_ok = sorted[t] < tau;
-    if (upper_ok && lower_ok) return tau;
-  }
-  // Numerical fallback: bisection on the monotone function
-  // f(tau) = sum_i min(1, w_i/tau) - s.
-  double lo = 0.0, hi = rest[0] / s + 1.0;
+/// Numerical fallback: bisection on the monotone function
+/// f(tau) = sum_i min(1, w_i/tau) - s over the positive weights in
+/// buf[0..n). Only reached when floating-point near-ties defeat the exact
+/// candidate search.
+double BisectTau(const Weight* buf, std::size_t n, double total, double s) {
+  double lo = 0.0, hi = total / s + 1.0;
   for (int iter = 0; iter < 200; ++iter) {
     const double mid = 0.5 * (lo + hi);
     double f = 0.0;
-    for (Weight w : sorted) f += std::min(1.0, w / mid);
+    for (std::size_t i = 0; i < n; ++i) f += std::min(1.0, buf[i] / mid);
     if (f > s) {
       lo = mid;
     } else {
@@ -50,6 +25,93 @@ double SolveTau(const std::vector<Weight>& weights, double s) {
     }
   }
   return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+// With the weights sorted descending and rest[t] = sum of sorted[t..n-1],
+// the threshold for t certainly-included keys is tau(t) = rest[t] / (s - t);
+// it is consistent iff sorted[t-1] >= tau(t) and sorted[t] < tau(t). The
+// smallest t whose *lower* condition holds automatically satisfies the upper
+// one (if t-1 fails its lower check, sorted[t-1] * (s-t+1) >= rest[t-1]
+// rearranges to sorted[t-1] >= tau(t)), and the lower condition is monotone
+// in t — so the consistent t can be found by partition-based binary search
+// over an unsorted buffer instead of a full sort: expected O(n) and
+// allocation-free against a warm scratch.
+double SolveTau(const Weight* weights, std::size_t n_in, double s,
+                IppsScratch* scratch) {
+  assert(s > 0.0);
+  auto& buf = scratch->buf;
+  buf.resize(n_in);
+  std::size_t n = 0;
+  double total = 0.0;
+  Weight wmin = 0.0, wmax = 0.0;
+  for (std::size_t i = 0; i < n_in; ++i) {
+    const Weight w = weights[i];
+    assert(w >= 0.0);
+    if (w > 0.0) {
+      if (n == 0) {
+        wmin = wmax = w;
+      } else {
+        wmin = w < wmin ? w : wmin;
+        wmax = w > wmax ? w : wmax;
+      }
+      total += w;
+      buf[n++] = w;
+    }
+  }
+  if (static_cast<double>(n) <= s) return 0.0;  // everyone has probability 1
+  if (wmin == wmax) return total / s;  // all-equal: tau = n*w/s, exactly
+
+  // Partition search: t* lies in [lo, hi]; elements left of lo are known
+  // heavy (among the t* largest), elements right of hi are known light with
+  // sum right_sum and maximum right_max.
+  std::size_t lo = 0, hi = n;
+  double right_sum = 0.0;
+  Weight right_max = 0.0;
+  constexpr std::size_t kSmallWindow = 32;
+  while (hi - lo > kSmallWindow) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    std::nth_element(buf.begin() + lo, buf.begin() + mid, buf.begin() + hi,
+                     std::greater<>());
+    double rest = right_sum;
+    for (std::size_t i = hi; i-- > mid;) rest += buf[i];
+    const double denom = s - static_cast<double>(mid);
+    // t* <= floor(s) always, so a non-positive denominator means "go left".
+    if (denom <= 0.0 || buf[mid] < rest / denom) {
+      hi = mid;
+      right_sum = rest;
+      right_max = buf[mid];  // nth_element: the maximum of buf[mid..hi)
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  // Resolve the remaining window by the classic scan over sorted candidates.
+  std::sort(buf.begin() + lo, buf.begin() + hi, std::greater<>());
+  double suffix[kSmallWindow + 1];
+  suffix[hi - lo] = right_sum;
+  for (std::size_t i = hi; i-- > lo;) {
+    suffix[i - lo] = suffix[i - lo + 1] + buf[i];
+  }
+  for (std::size_t t = lo; t <= hi && t < n; ++t) {
+    const double denom = s - static_cast<double>(t);
+    if (denom <= 0.0) break;
+    const double tau = suffix[t - lo] / denom;
+    const Weight w_t = t < hi ? buf[t] : right_max;
+    if (w_t < tau) return tau;
+  }
+  return BisectTau(buf.data(), n, total, s);
+}
+
+double SolveTau(const std::vector<Weight>& weights, double s,
+                IppsScratch* scratch) {
+  return SolveTau(weights.data(), weights.size(), s, scratch);
+}
+
+double SolveTau(const std::vector<Weight>& weights, double s) {
+  thread_local IppsScratch scratch;
+  return SolveTau(weights.data(), weights.size(), s, &scratch);
 }
 
 double IppsProbabilities(const std::vector<Weight>& weights, double tau,

@@ -5,7 +5,13 @@
 // tau_s solves sum_i min{1, w_i / tau_s} = s (Appendix A of the paper).
 //
 // Two implementations are provided:
-//  * SolveTau        — exact offline solver over a weight vector.
+//  * SolveTau        — exact offline solver over a weight vector. The solver
+//                      is selection-based (std::nth_element over a reusable
+//                      IppsScratch workspace): expected O(n) instead of the
+//                      classic sort-based O(n log n), with zero steady-state
+//                      allocations. It runs on every StreamVarOpt overflow
+//                      resolution, every MergeSamples, and every summary
+//                      build, so its constant factor matters.
 //  * StreamTau       — Algorithm 4: one-pass streaming tracker using a heap
 //                      of at most s weights and O(s) memory.
 
@@ -28,9 +34,29 @@ inline double IppsProbability(Weight w, double tau) {
   return p >= 1.0 ? 1.0 : p;
 }
 
+/// Reusable workspace for SolveTau. The buffer grows to the largest input
+/// seen and is then reused, so a caller that keeps one scratch alive pays no
+/// allocations in steady state. A scratch may be reused freely across calls
+/// but must not be shared by concurrent calls.
+struct IppsScratch {
+  std::vector<Weight> buf;
+};
+
 /// Exact offline IPPS threshold: returns tau such that
 /// sum_i min{1, w_i/tau} == s. If s >= (number of positive weights), returns
 /// 0 (every key has probability 1). Requires s > 0 and all weights >= 0.
+///
+/// Expected O(n) via quickselect-style partitioning of `scratch->buf`
+/// (the input is not modified). Exact early-outs cover the boundary inputs
+/// that used to fall through to bisection: all-equal positive weights
+/// (tau = total/s) and s >= n after zero-filtering (tau = 0).
+double SolveTau(const Weight* weights, std::size_t n, double s,
+                IppsScratch* scratch);
+
+/// Convenience overloads. The vector-only form uses an internal thread-local
+/// scratch, so it is also allocation-free in steady state.
+double SolveTau(const std::vector<Weight>& weights, double s,
+                IppsScratch* scratch);
 double SolveTau(const std::vector<Weight>& weights, double s);
 
 /// Fills `probs` with min{1, w_i/tau}. Returns the sum of probabilities.

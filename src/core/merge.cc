@@ -44,14 +44,20 @@ Sample MergeParts(const Sample* const* parts, std::size_t num_parts,
   for (double& q : probs) q = SnapProbability(q);
 
   // Structure-oblivious settling: aggregate the open entries in a uniformly
-  // random order, then resolve any floating-point residual.
+  // random order, then resolve any floating-point residual. The shuffle
+  // draws raw bounded integers, so only the chain itself goes through the
+  // batched draw stream.
   std::vector<std::size_t> order(total);
   std::iota(order.begin(), order.end(), 0);
   for (std::size_t i = total; i > 1; --i) {
     std::swap(order[i - 1], order[rng->NextBounded(i)]);
   }
-  const std::size_t leftover = ChainAggregate(&probs, order, kNoEntry, rng);
-  ResolveResidual(&probs, leftover, rng);
+  {
+    RngStream draws(rng);
+    const std::size_t leftover = ChainAggregateRange(
+        probs.data(), order.data(), order.size(), kNoEntry, &draws);
+    ResolveResidual(probs.data(), leftover, &draws);
+  }
 
   Sample out;
   out.set_tau(tau);

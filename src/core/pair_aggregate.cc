@@ -40,21 +40,66 @@ void PairAggregate(double* pi, double* pj, Rng* rng) {
 std::size_t ChainAggregate(std::vector<double>* probs,
                            const std::vector<std::size_t>& indices,
                            std::size_t carry, Rng* rng) {
-  auto& p = *probs;
-  std::size_t active = carry;
-  if (active != kNoEntry && IsSet(p[active])) active = kNoEntry;
-  for (std::size_t i : indices) {
-    if (IsSet(p[i])) continue;
+  RngStream draws(rng);
+  return ChainAggregateRange(probs->data(), indices.data(), indices.size(),
+                             carry, &draws);
+}
+
+std::size_t ChainAggregateRange(double* p, const std::size_t* indices,
+                                std::size_t count, std::size_t carry,
+                                RngStream* draws) {
+  // The carry probability lives in `pa`; p[active] is written only when the
+  // carry settles or the chain ends. Each merge performs the PairAggregate
+  // arithmetic in registers, consumes exactly one draw, and issues a single
+  // store for the entry that settled; the open side continues as the carry.
+  std::size_t active = kNoEntry;
+  double pa = 0.0;
+  if (carry != kNoEntry && !IsSet(p[carry])) {
+    active = carry;
+    pa = p[carry];
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t i = indices[k];
+    const double pi = p[i];
+    if (IsSet(pi)) continue;
     if (active == kNoEntry) {
       active = i;
+      pa = pi;
       continue;
     }
-    PairAggregate(&p[active], &p[i], rng);
-    if (IsSet(p[active])) {
-      active = IsSet(p[i]) ? kNoEntry : i;
+    const double u = draws->NextDouble();
+    const double sum = pa + pi;
+    if (sum < 1.0) {
+      // All mass moves onto one of the two keys; the other is excluded.
+      const double v = SnapProbability(sum);  // can snap up to 1
+      const bool keep_active = u < pa / sum;
+      const std::size_t winner = keep_active ? active : i;
+      const std::size_t loser = keep_active ? i : active;
+      p[loser] = 0.0;
+      if (IsSet(v)) {
+        p[winner] = v;
+        active = kNoEntry;
+      } else {
+        active = winner;
+        pa = v;
+      }
+    } else {
+      // One key is included outright; the other keeps sum - 1.
+      const double leftover = SnapProbability(sum - 1.0);  // can snap to 0
+      const bool active_is_one = u < (1.0 - pi) / (2.0 - sum);
+      const std::size_t one = active_is_one ? active : i;
+      const std::size_t rest = active_is_one ? i : active;
+      p[one] = 1.0;
+      if (IsSet(leftover)) {
+        p[rest] = leftover;
+        active = kNoEntry;
+      } else {
+        active = rest;
+        pa = leftover;
+      }
     }
-    // else: active keeps the leftover mass and i was set.
   }
+  if (active != kNoEntry) p[active] = pa;
   return active;
 }
 
@@ -64,6 +109,12 @@ void ResolveResidual(std::vector<double>* probs, std::size_t entry,
   auto& p = *probs;
   if (IsSet(p[entry])) return;
   p[entry] = rng->NextBernoulli(p[entry]) ? 1.0 : 0.0;
+}
+
+void ResolveResidual(double* probs, std::size_t entry, RngStream* draws) {
+  if (entry == kNoEntry) return;
+  if (IsSet(probs[entry])) return;
+  probs[entry] = draws->NextBernoulli(probs[entry]) ? 1.0 : 0.0;
 }
 
 }  // namespace sas

@@ -44,6 +44,48 @@ double Rng::NextDouble() {
   return static_cast<double>(Next() >> 11) * 0x1.0p-53;
 }
 
+void Rng::FillDoubles(double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+}
+
+void RngStream::Refill() {
+  if (filled_ > 0) {
+    // The previous block was fully consumed: advance the sync point past it.
+    synced_ = next_;
+  } else {
+    // First block since construction or Flush: re-sync from the source, so
+    // draws the caller made directly on the Rng while no block was live
+    // (legal after a Flush) are not replayed.
+    synced_ = *src_;
+  }
+  next_ = synced_;
+  next_.FillDoubles(buf_, kBlock);
+  filled_ = kBlock;
+  pos_ = 0;
+}
+
+void RngStream::Flush() {
+  if (filled_ == 0) {
+    // Nothing buffered; the source was never touched. Re-sync in case the
+    // caller used it directly between streams.
+    synced_ = *src_;
+    return;
+  }
+  if (pos_ == filled_) {
+    *src_ = next_;
+  } else {
+    // Replay the consumed prefix of the current block (< kBlock draws).
+    Rng r = synced_;
+    for (std::size_t i = 0; i < pos_; ++i) (void)r.Next();
+    *src_ = r;
+  }
+  synced_ = *src_;
+  filled_ = 0;
+  pos_ = 0;
+}
+
 std::uint64_t Rng::NextBounded(std::uint64_t bound) {
   // Lemire's nearly-divisionless unbiased bounded generation.
   std::uint64_t x = Next();

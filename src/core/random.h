@@ -8,6 +8,7 @@
 #ifndef SAS_CORE_RANDOM_H_
 #define SAS_CORE_RANDOM_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace sas {
@@ -37,6 +38,12 @@ class Rng {
   /// Uniform double in [0, 1).
   double NextDouble();
 
+  /// Fills out[0..n) with the next n NextDouble() draws, in order. The
+  /// per-element values are bit-identical to n successive NextDouble()
+  /// calls; the batch form exists so hot loops can consume blocks of draws
+  /// without a per-draw function boundary (see RngStream).
+  void FillDoubles(double* out, std::size_t n);
+
   /// Uniform integer in [0, bound). Requires bound > 0. Unbiased
   /// (Lemire's rejection method).
   std::uint64_t NextBounded(std::uint64_t bound);
@@ -62,6 +69,59 @@ class Rng {
 
  private:
   std::uint64_t s_[4];
+};
+
+/// Buffered uniform-double stream over a borrowed Rng, used by the batched
+/// aggregation fast paths (ChainAggregateRange).
+///
+/// The stream pre-generates draws in blocks of kBlock via Rng::FillDoubles
+/// but is *draw-order transparent*: the i-th NextDouble() returns exactly
+/// the value the i-th rng->NextDouble() would have, and Flush() repositions
+/// the borrowed Rng to exactly "construction state advanced by the number of
+/// draws consumed". A pass that routes all of its randomness through one
+/// RngStream is therefore bit-identical — including the caller's Rng state
+/// afterwards — to the same pass calling the Rng directly.
+///
+/// Ownership rule: while a block is live — i.e. after a NextDouble()/
+/// consuming NextBernoulli() and before the next Flush() (the destructor
+/// flushes too) — the borrowed Rng must not be used directly. Between
+/// Flush() and the next draw the Rng may be used freely; the stream
+/// re-syncs from it.
+class RngStream {
+ public:
+  static constexpr std::size_t kBlock = 256;
+
+  explicit RngStream(Rng* rng) : src_(rng), synced_(*rng) {}
+  RngStream(const RngStream&) = delete;
+  RngStream& operator=(const RngStream&) = delete;
+  ~RngStream() { Flush(); }
+
+  double NextDouble() {
+    if (pos_ == filled_) Refill();
+    return buf_[pos_++];
+  }
+
+  /// Bernoulli draw matching Rng::NextBernoulli's consumption: degenerate
+  /// probabilities consume no draw.
+  bool NextBernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  /// Repositions the borrowed Rng exactly past the consumed draws and
+  /// resets the stream (it may be used again afterwards).
+  void Flush();
+
+ private:
+  void Refill();
+
+  Rng* src_;
+  Rng synced_;  // source state at the stream position of buf_[0]
+  Rng next_;    // synced_ advanced by kBlock draws (valid when filled_ > 0)
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;
+  double buf_[kBlock];
 };
 
 }  // namespace sas

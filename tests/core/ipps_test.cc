@@ -78,6 +78,39 @@ TEST(SolveTau, FractionalTarget) {
   EXPECT_NEAR(ProbSum(w, tau), s, 1e-9);
 }
 
+TEST(SolveTau, AllEqualWeightsAreExact) {
+  // Regression: all-equal inputs used to rely on the candidate scan (and
+  // could drift into the bisection fallback near the s ~ n boundary); they
+  // now hit an exact early-out tau = total/s.
+  std::vector<Weight> w(1000, 0.1);
+  double total = 0.0;
+  for (Weight x : w) total += x;
+  EXPECT_DOUBLE_EQ(SolveTau(w, 999.5), total / 999.5);
+  EXPECT_DOUBLE_EQ(SolveTau(w, 1.0), total);
+  EXPECT_DOUBLE_EQ(SolveTau(w, 1000.0), 0.0);
+}
+
+TEST(SolveTau, ZeroFilteredBoundary) {
+  // s >= the positive count after zero-filtering must return exactly 0,
+  // regardless of how many zero weights pad the input.
+  std::vector<Weight> w{0.0, 7.0, 0.0, 7.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(SolveTau(w, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(SolveTau(w, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(SolveTau(w, 1.5), 14.0 / 1.5);
+}
+
+TEST(SolveTau, ScratchOverloadMatchesWrapper) {
+  IppsScratch scratch;
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.NextBounded(300);
+    std::vector<Weight> w(n);
+    for (auto& x : w) x = rng.NextPareto(1.2);
+    const double s = 1 + static_cast<double>(rng.NextBounded(n - 1));
+    EXPECT_EQ(SolveTau(w, s), SolveTau(w.data(), w.size(), s, &scratch));
+  }
+}
+
 TEST(IppsProbabilities, FillsAndSums) {
   std::vector<Weight> w{4.0, 2.0, 1.0, 1.0};
   std::vector<double> probs;
