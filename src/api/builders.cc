@@ -46,6 +46,16 @@ class BufferingSummarizer : public Summarizer {
     items_.insert(items_.end(), items.begin(), items.end());
   }
 
+  /// Buffering methods recycle trivially: drop the buffer (keeping its
+  /// capacity) and reseed. All of their randomness is drawn at Finalize
+  /// from Rng(cfg_.seed), so a recycled builder is indistinguishable from
+  /// a fresh one.
+  bool Reset(std::uint64_t seed) override {
+    items_.clear();
+    cfg_.seed = seed;
+    return true;
+  }
+
  protected:
   std::vector<WeightedKey> items_;
 };
@@ -146,6 +156,15 @@ class NdBuilder : public Summarizer {
   /// Mergeable via the Add path only: AddCoords synthesizes ids from the
   /// insertion index, which a hash partition would collide across shards.
   bool Mergeable() const override { return true; }
+
+  bool Reset(std::uint64_t seed) override {
+    coords_.clear();
+    weights_.clear();
+    originals_.clear();
+    used_coords_ = false;
+    cfg_.seed = seed;
+    return true;
+  }
 
   void AddCoords(const Coord* coords, int dims, Weight w) override {
     if (dims != cfg_.structure.dims) {
@@ -297,6 +316,12 @@ class OblivBuilder : public Summarizer {
   }
 
   bool Mergeable() const override { return true; }
+
+  bool Reset(std::uint64_t seed) override {
+    sketch_.Reset(Rng(seed));
+    cfg_.seed = seed;
+    return true;
+  }
 
   std::unique_ptr<RangeSummary> Finalize() override {
     return std::make_unique<SampleSummary>(keys::kObliv,

@@ -36,6 +36,14 @@ inline constexpr const char kExact[] = "exact";      // brute force (testing)
 // the inner method must be Mergeable (api/summarizer.h).
 inline constexpr const char kShardedPrefix[] = "sharded:";
 
+// Composed-key prefix of the time-windowed streaming wrapper: the key
+// "windowed:<W>:<B>:<inner-key>" maintains a ring of B time buckets, each
+// an <inner-key> summarizer over one span of W/B time units, and merges the
+// live buckets' samples into a summary of the last W time units. Parsed by
+// MakeSummarizer (api/registry.cc); the inner method must be Mergeable.
+// Composes with "sharded:" in either order.
+inline constexpr const char kWindowedPrefix[] = "windowed:";
+
 }  // namespace sas::keys
 
 #endif  // SAS_API_KEYS_H_

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "api/sharded.h"
+#include "window/windowed.h"
 
 namespace sas {
 
@@ -63,10 +64,17 @@ std::unique_ptr<Summarizer> MakeSummarizer(const std::string& key,
                                            const SummarizerConfig& cfg) {
   EnsureBuiltins();
   // Composed keys: "sharded:<N>:<inner-key>" wraps any mergeable registered
-  // method in the shard-parallel ingest backend (api/sharded.h).
+  // method in the shard-parallel ingest backend (api/sharded.h);
+  // "windowed:<W>:<B>:<inner-key>" wraps it in the sliding-window ring
+  // (window/windowed.h). The wrappers nest through this same entry point,
+  // so they compose with each other in either order.
   if (IsShardedKey(key)) {
     ValidateCommon(key, cfg);
     return MakeShardedSummarizer(key, cfg);
+  }
+  if (IsWindowedKey(key)) {
+    ValidateCommon(key, cfg);
+    return MakeWindowedSummarizer(key, cfg);
   }
   SummarizerFactory factory;
   {
@@ -102,13 +110,20 @@ std::vector<std::string> RegisteredSummarizers() {
 bool IsRegisteredSummarizer(const std::string& key) {
   EnsureBuiltins();
   if (IsShardedKey(key)) {
-    // A sharded key is "registered" when it parses and its inner key is.
+    // A composed key is "registered" when it parses and its inner key is.
     // As with any registered key, MakeSummarizer can still reject it for
     // config-dependent reasons — a non-mergeable inner method here, just
     // like "hierarchy" without cfg.structure.hierarchy set (mergeability
     // is an instance capability, only known once a builder exists).
     try {
       return IsRegisteredSummarizer(ParseShardedKey(key).inner);
+    } catch (const std::invalid_argument&) {
+      return false;
+    }
+  }
+  if (IsWindowedKey(key)) {
+    try {
+      return IsRegisteredSummarizer(ParseWindowedKey(key).inner);
     } catch (const std::invalid_argument&) {
       return false;
     }

@@ -38,7 +38,11 @@ bool RegisterSummarizer(const std::string& key, SummarizerFactory factory);
 /// (non-positive size, missing hierarchy, bad dimension/bits, ...).
 /// Composed keys "sharded:<N>:<inner-key>" wrap any mergeable method in the
 /// shard-parallel ingest backend (api/sharded.h): N worker threads, one
-/// inner summarizer each, VarOpt merge at Finalize.
+/// inner summarizer each, VarOpt merge at Finalize. Composed keys
+/// "windowed:<W>:<B>:<inner-key>" wrap any mergeable method in the
+/// time-windowed ring (window/windowed.h): B time buckets of W/B time
+/// units each, timestamped ingest via Summarizer::AsWindowed, live buckets
+/// VarOpt-merged at query/Finalize. The wrappers nest in either order.
 std::unique_ptr<Summarizer> MakeSummarizer(const std::string& key,
                                            const SummarizerConfig& cfg);
 

@@ -31,6 +31,7 @@
 namespace sas {
 
 class Hierarchy;
+class WindowedSummarizer;
 
 /// Describes the structure on the key domain that a structure-aware method
 /// should preserve (Section 2 of the paper). Baseline methods ignore it.
@@ -131,6 +132,24 @@ class Summarizer {
   /// non-sample baselines report false; the sharded wrapper
   /// (api/sharded.h) only composes over mergeable methods.
   virtual bool Mergeable() const { return false; }
+
+  /// Recycling capability: returns the builder to its freshly-constructed
+  /// state under `seed`, retaining allocated capacity, and reports true.
+  /// A recycled builder must behave exactly like a fresh builder
+  /// constructed with the same config and that seed. Wrappers that rebuild
+  /// repeatedly (the windowed ring retiring time buckets) recycle spent
+  /// builders through this instead of reconstructing them. The default
+  /// reports false ("not recyclable"); callers must then build a fresh one.
+  virtual bool Reset(std::uint64_t seed) {
+    (void)seed;
+    return false;
+  }
+
+  /// Downcast to the time-windowed wrapper (window/windowed.h), or nullptr.
+  /// The windowed wrapper extends the builder surface with the timestamped
+  /// ingest/query calls (AddTimed / Advance / QueryAt) that generic
+  /// summarizers do not have.
+  virtual WindowedSummarizer* AsWindowed() { return nullptr; }
 
   const SummarizerConfig& config() const { return cfg_; }
 

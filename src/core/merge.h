@@ -20,10 +20,25 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/ipps.h"
 #include "core/random.h"
 #include "core/sample.h"
 
 namespace sas {
+
+/// Reusable workspace for the merge's intermediate buffers (combined
+/// entries, weights, inclusion probabilities, shuffle order, and the IPPS
+/// scratch). A caller that merges repeatedly — the windowed ring's QueryAt
+/// path re-merges its live bucket samples on every cache miss — keeps one
+/// scratch alive and pays no steady-state allocations for them. A scratch
+/// may be reused freely across calls but not shared by concurrent calls.
+struct MergeScratch {
+  std::vector<WeightedKey> entries;
+  std::vector<Weight> weights;
+  std::vector<double> probs;
+  std::vector<std::size_t> order;
+  IppsScratch ipps;
+};
 
 /// Merges two VarOpt samples into one of (expected) size s. Entries are
 /// combined at their adjusted weights, so the result is unbiased for the
@@ -38,6 +53,14 @@ Sample MergeSamples(const Sample& a, const Sample& b, std::size_t s,
 /// re-sampling round instead of N-1).
 Sample MergeAllSamples(const std::vector<Sample>& parts, std::size_t s,
                        Rng* rng);
+
+/// Pointer-flavored N-way merge for callers that assemble their parts from
+/// non-contiguous storage (the windowed ring merges samples held in ring
+/// slots) and want buffer reuse across merges. `scratch` may be nullptr
+/// (per-call buffers are then used). Null part pointers are not allowed;
+/// zero-entry parts are.
+Sample MergeSampleParts(const Sample* const* parts, std::size_t num_parts,
+                        std::size_t s, Rng* rng, MergeScratch* scratch);
 
 }  // namespace sas
 

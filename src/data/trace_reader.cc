@@ -1,0 +1,105 @@
+#include "data/trace_reader.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace sas {
+
+namespace {
+
+/// Splits `line` on `delim` into at most `max_fields` trimmed views stored
+/// in `fields`; returns the field count. Surrounding spaces/tabs and a
+/// trailing '\r' (CRLF input) are trimmed.
+std::size_t SplitFields(const std::string& line, char delim,
+                        std::string* fields, std::size_t max_fields) {
+  std::size_t count = 0;
+  std::size_t begin = 0;
+  while (count < max_fields) {
+    std::size_t end = line.find(delim, begin);
+    if (end == std::string::npos) end = line.size();
+    std::size_t lo = begin, hi = end;
+    while (lo < hi && (line[lo] == ' ' || line[lo] == '\t')) ++lo;
+    while (hi > lo && (line[hi - 1] == ' ' || line[hi - 1] == '\t' ||
+                       line[hi - 1] == '\r')) {
+      --hi;
+    }
+    fields[count++] = line.substr(lo, hi - lo);
+    if (end == line.size()) return count;
+    begin = end + 1;
+  }
+  return count;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseCoord(const std::string& s, Coord* out) {
+  if (s.empty() || s[0] == '-') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = static_cast<Coord>(v);
+  return true;
+}
+
+}  // namespace
+
+TraceReader::TraceReader(std::istream& in, Options opt)
+    : in_(in), opt_(opt) {
+  if (opt_.batch_size == 0) opt_.batch_size = 1;
+}
+
+bool TraceReader::ParseLine(const std::string& line, TimedItem* out) const {
+  std::string fields[5];
+  const std::size_t n = SplitFields(line, opt_.delimiter, fields, 5);
+  if (n < 3) return false;
+  double ts = 0.0, weight = 0.0;
+  Coord key = 0;
+  if (!ParseDouble(fields[0], &ts) || !ParseCoord(fields[1], &key) ||
+      !ParseDouble(fields[2], &weight)) {
+    return false;
+  }
+  out->ts = ts;
+  out->item.id = static_cast<KeyId>(key);  // ids are dense 32-bit indices
+  out->item.weight = weight;
+  out->item.pt = {key, 0};
+  if (n >= 4 && !ParseCoord(fields[3], &out->item.pt.x)) return false;
+  if (n >= 5 && !ParseCoord(fields[4], &out->item.pt.y)) return false;
+  return true;
+}
+
+bool TraceReader::NextBatch(std::vector<TimedItem>* out) {
+  out->clear();
+  std::string line;
+  TimedItem record;
+  while (out->size() < opt_.batch_size && std::getline(in_, line)) {
+    // Skip blanks and comments cheaply (before any field parsing).
+    std::size_t first = 0;
+    while (first < line.size() &&
+           (line[first] == ' ' || line[first] == '\t' ||
+            line[first] == '\r')) {
+      ++first;
+    }
+    if (first == line.size() || line[first] == '#') continue;
+
+    if (ParseLine(line, &record)) {
+      first_data_line_ = false;
+      ++records_;
+      out->push_back(record);
+    } else if (first_data_line_) {
+      // A non-numeric first data line is a header; skip it silently.
+      first_data_line_ = false;
+    } else {
+      ++skipped_;
+    }
+  }
+  return !out->empty();
+}
+
+}  // namespace sas

@@ -1,0 +1,75 @@
+// Minimal CSV trace reader for timestamped weighted-key streams, the ingest
+// side of the time-windowed backend (window/windowed.h):
+//
+//   timestamp,key,weight[,x[,y]]
+//
+// One record per line. `timestamp` is a decimal time in the caller's units,
+// `key` the integer key id, `weight` the item weight; the optional `x`/`y`
+// columns place the key in the 2-D domain (default: x = key, y = 0). Blank
+// lines and lines starting with '#' are skipped; a leading header line is
+// detected (first field not numeric) and skipped; malformed lines are
+// counted and skipped rather than aborting a long ingest.
+//
+// The reader emits batches sized for Summarizer::AddBatch hand-off, so a
+// driver loop is:
+//
+//   TraceReader reader(file);
+//   std::vector<TimedItem> batch;
+//   while (reader.NextBatch(&batch)) {
+//     for (const TimedItem& r : batch) win->AddTimed(r.ts, r.item);
+//   }
+
+#ifndef SAS_DATA_TRACE_READER_H_
+#define SAS_DATA_TRACE_READER_H_
+
+#include <cstddef>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace sas {
+
+/// One parsed trace record: arrival time plus the weighted key.
+struct TimedItem {
+  double ts = 0.0;
+  WeightedKey item;
+};
+
+class TraceReader {
+ public:
+  struct Options {
+    /// Records per NextBatch call (matches the sharded wrapper's hand-off
+    /// batch size by default).
+    std::size_t batch_size = 4096;
+    char delimiter = ',';
+  };
+
+  /// The stream must outlive the reader.
+  explicit TraceReader(std::istream& in) : TraceReader(in, Options()) {}
+  TraceReader(std::istream& in, Options opt);
+
+  /// Fills `*out` (cleared first) with up to batch_size records. Returns
+  /// true when at least one record was read; false at end of input.
+  bool NextBatch(std::vector<TimedItem>* out);
+
+  /// Records successfully parsed so far.
+  std::size_t records_read() const { return records_; }
+  /// Malformed data lines skipped so far (comments, blanks, and the header
+  /// do not count).
+  std::size_t lines_skipped() const { return skipped_; }
+
+ private:
+  bool ParseLine(const std::string& line, TimedItem* out) const;
+
+  std::istream& in_;
+  Options opt_;
+  std::size_t records_ = 0;
+  std::size_t skipped_ = 0;
+  bool first_data_line_ = true;
+};
+
+}  // namespace sas
+
+#endif  // SAS_DATA_TRACE_READER_H_

@@ -48,10 +48,11 @@ struct BuiltSummary {
 /// which drops it as "off the scale").
 std::vector<std::string> DefaultMethods(bool include_sketch = false);
 
-/// Builds every listed method (canonical registry keys, including composed
-/// "sharded:<N>:<key>" keys for the shard-parallel backend) at summary size
-/// `s` over the dataset, in order, deriving one deterministic sub-seed per
-/// method from `seed`.
+/// Builds every listed method (canonical registry keys, including the
+/// composed "sharded:<N>:<key>" and "windowed:<W>:<B>:<key>" wrapper keys,
+/// nested in either order) at summary size `s` over the dataset, in order,
+/// deriving one deterministic sub-seed per method from `seed`. Windowed
+/// keys ingest the batch dataset untimed (a single bucket at time 0).
 std::vector<BuiltSummary> BuildMethods(const Dataset2D& ds, std::size_t s,
                                        const std::vector<std::string>& methods,
                                        std::uint64_t seed);

@@ -133,6 +133,17 @@ Sample StreamVarOpt::TakeSample() {
   return out;
 }
 
+void StreamVarOpt::Reset(Rng rng) {
+  heavy_.clear();
+  heavy_.reserve(s_ + 1);
+  light_.clear();
+  popped_scratch_.clear();
+  tau_ = 0.0;
+  light_mass_ = 0.0;
+  seen_ = 0;
+  rng_ = rng;
+}
+
 Sample StreamVarOpt::ToSample() const {
   std::vector<WeightedKey> entries;
   entries.reserve(size());

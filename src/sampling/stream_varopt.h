@@ -60,6 +60,13 @@ class StreamVarOpt {
   /// position). Use this at Finalize time to avoid copying the reservoir.
   Sample TakeSample();
 
+  /// Returns the sketch to its freshly-constructed state under a new RNG,
+  /// retaining the allocated reservoir capacity. The windowed backend
+  /// (window/windowed.h) recycles retired bucket sketches through this
+  /// instead of reallocating them: a Reset sketch behaves bit-identically
+  /// to StreamVarOpt(s, rng) fed the same stream.
+  void Reset(Rng rng);
+
  private:
   /// Restores the heap property after appending to heavy_.
   void HeavyPush(const WeightedKey& item);

@@ -1,0 +1,350 @@
+#include "window/windowed.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "api/keys.h"
+#include "api/registry.h"
+
+namespace sas {
+
+namespace {
+
+constexpr int kMaxBuckets = 4096;
+/// Spent inner builders kept around for Reset recycling. One builder is
+/// live at a time (seal or query rebuild), so a small cap suffices.
+constexpr std::size_t kMaxFreeBuilders = 2;
+
+// Distinct salts keep the bucket-seed and merge-seed streams independent of
+// each other and of the sharded wrapper's partition salt.
+constexpr std::uint64_t kBucketSeedTag = 0x5EA1B0C4E7B0C4E7ULL;
+constexpr std::uint64_t kMergeSeedTag = 0x3E6E5A1AD3A9F0B5ULL;
+
+[[noreturn]] void BadKey(const std::string& key, const std::string& why) {
+  throw std::invalid_argument("MakeSummarizer(\"" + key + "\"): " + why);
+}
+
+/// True for a non-empty string of digits with at most one interior '.'
+/// (the restricted decimal grammar of the <W> field).
+bool IsDecimalNumber(const std::string& s) {
+  if (s.empty()) return false;
+  bool seen_dot = false, seen_digit = false;
+  for (char c : s) {
+    if (c == '.') {
+      if (seen_dot) return false;
+      seen_dot = true;
+    } else if (c >= '0' && c <= '9') {
+      seen_digit = true;
+    } else {
+      return false;
+    }
+  }
+  return seen_digit;
+}
+
+}  // namespace
+
+bool IsWindowedKey(const std::string& key) {
+  return key.rfind(keys::kWindowedPrefix, 0) == 0;
+}
+
+WindowedKeySpec ParseWindowedKey(const std::string& key) {
+  if (!IsWindowedKey(key)) {
+    BadKey(key,
+           "not a windowed key (expected \"windowed:<W>:<B>:<inner-key>\")");
+  }
+  const std::size_t w_begin = std::string(keys::kWindowedPrefix).size();
+  const std::size_t w_end = key.find(':', w_begin);
+  if (w_end == std::string::npos) {
+    BadKey(key, "missing bucket count and inner key (expected "
+                "\"windowed:<W>:<B>:<inner-key>\")");
+  }
+  const std::size_t b_begin = w_end + 1;
+  const std::size_t b_end = key.find(':', b_begin);
+  if (b_end == std::string::npos) {
+    BadKey(key, "missing inner key (expected "
+                "\"windowed:<W>:<B>:<inner-key>\")");
+  }
+
+  const std::string w_str = key.substr(w_begin, w_end - w_begin);
+  if (!IsDecimalNumber(w_str)) {
+    BadKey(key, "window span \"" + w_str + "\" is not a positive number");
+  }
+  double window = 0.0;
+  try {
+    window = std::stod(w_str);
+  } catch (const std::out_of_range&) {
+    window = 0.0;  // over-/underflowing spans fail the positivity check
+  }
+  if (!(window > 0.0) || !std::isfinite(window)) {
+    BadKey(key, "window span must be positive and finite, got \"" + w_str +
+                    "\"");
+  }
+
+  const std::string b_str = key.substr(b_begin, b_end - b_begin);
+  if (b_str.empty() ||
+      b_str.find_first_not_of("0123456789") != std::string::npos) {
+    BadKey(key, "bucket count \"" + b_str + "\" is not a positive integer");
+  }
+  long buckets = 0;
+  try {
+    buckets = std::stol(b_str);
+  } catch (const std::out_of_range&) {
+    buckets = kMaxBuckets + 1L;
+  }
+  if (buckets < 1 || buckets > kMaxBuckets) {
+    BadKey(key, "bucket count must be in [1, " + std::to_string(kMaxBuckets) +
+                    "], got \"" + b_str + "\"");
+  }
+
+  WindowedKeySpec spec;
+  spec.window = window;
+  spec.buckets = static_cast<int>(buckets);
+  spec.inner = key.substr(b_end + 1);
+  if (spec.inner.empty()) {
+    BadKey(key,
+           "empty inner key (expected \"windowed:<W>:<B>:<inner-key>\")");
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+
+WindowedSummarizer::WindowedSummarizer(std::string key,
+                                       const WindowedKeySpec& spec,
+                                       const SummarizerConfig& cfg)
+    : Summarizer(cfg), key_(std::move(key)), inner_key_(spec.inner) {
+  if (cfg.s < 1.0) {
+    BadKey(key_, "summary size s must be >= 1 for the windowed wrapper "
+                 "(the merged window budget is integral)");
+  }
+  window_ = spec.window;
+  span_ = window_ / static_cast<double>(spec.buckets);
+  if (!(span_ > 0.0)) {
+    BadKey(key_, "window span / bucket count underflows to a zero-length "
+                 "bucket");
+  }
+  bucket_seed_base_ = Mix64(cfg.seed ^ kBucketSeedTag);
+  merge_seed_base_ = Mix64(cfg.seed ^ kMergeSeedTag);
+  ring_.resize(static_cast<std::size_t>(spec.buckets));
+
+  // Probe the inner method eagerly: unknown keys, invalid configs, and
+  // non-mergeable methods must throw at MakeSummarizer time, not at the
+  // first bucket seal.
+  auto probe = AcquireInner(/*epoch=*/0);
+  if (!probe->Mergeable()) {
+    BadKey(key_, "inner method \"" + inner_key_ +
+                     "\" is not mergeable (its summary is not a "
+                     "partition-tolerant VarOpt sample)");
+  }
+  // Probe the Reset capability too (a no-op on the fresh builder): a
+  // recyclable probe seeds the free list, a non-recyclable one — e.g. a
+  // sharded inner with its worker pool — is destroyed right away rather
+  // than cached until the first bucket seal.
+  inner_recyclable_ =
+      probe->Reset(ForkSeed(bucket_seed_base_, /*stream=*/0));
+  ReleaseInner(std::move(probe));
+}
+
+void WindowedSummarizer::RequireLive(const char* what) const {
+  if (finalized_) {
+    throw std::logic_error(std::string("windowed summarizer: ") + what +
+                           " after Finalize (builders are spent once "
+                           "finalized)");
+  }
+}
+
+std::int64_t WindowedSummarizer::EpochOf(double ts) const {
+  const double q = std::floor(ts / span_);
+  // Clamp epochs outside the int64 range (finite but astronomically large
+  // timestamps relative to the span): the cast below would otherwise be
+  // undefined behavior. Clamped times all share an extreme epoch, which
+  // degrades ordering only beyond +-2^63 buckets; the min clamp stays one
+  // above kNoEpoch so a clamped epoch can still occupy a ring slot.
+  constexpr double kEpochLimit = 9.2e18;  // safely below INT64_MAX (~9.22e18)
+  if (q >= kEpochLimit) return static_cast<std::int64_t>(kEpochLimit);
+  if (q <= -kEpochLimit) return -static_cast<std::int64_t>(kEpochLimit);
+  return static_cast<std::int64_t>(q);
+}
+
+int WindowedSummarizer::live_buckets() const {
+  int live = cur_items_.empty() ? 0 : 1;
+  for (const Slot& slot : ring_) {
+    if (slot.epoch != kNoEpoch && slot.epoch > cur_epoch_ - buckets()) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+std::unique_ptr<Summarizer> WindowedSummarizer::AcquireInner(
+    std::int64_t epoch) {
+  const std::uint64_t seed =
+      ForkSeed(bucket_seed_base_, static_cast<std::uint64_t>(epoch));
+  if (!free_builders_.empty()) {
+    auto builder = std::move(free_builders_.back());
+    free_builders_.pop_back();
+    if (builder->Reset(seed)) {
+      ++recycled_builders_;
+      return builder;
+    }
+    // Unreachable while the capability probe below holds, but a custom
+    // method whose Reset support is state-dependent just falls through to
+    // a fresh construction.
+    inner_recyclable_ = false;
+    free_builders_.clear();
+  }
+  SummarizerConfig inner_cfg = cfg_;
+  inner_cfg.seed = seed;
+  return MakeSummarizer(inner_key_, inner_cfg);
+}
+
+void WindowedSummarizer::ReleaseInner(std::unique_ptr<Summarizer> spent) {
+  if (inner_recyclable_ && free_builders_.size() < kMaxFreeBuilders) {
+    free_builders_.push_back(std::move(spent));
+  }
+}
+
+Sample WindowedSummarizer::BuildBucketSample(
+    std::int64_t epoch, std::span<const WeightedKey> items) {
+  auto builder = AcquireInner(epoch);
+  builder->AddBatch(items);
+  auto summary = builder->Finalize();
+  auto* sample = dynamic_cast<SampleSummary*>(summary.get());
+  if (sample == nullptr) {
+    // Mergeable() promised a sample-backed summary; a custom method that
+    // lies about the capability is a programming error.
+    throw std::logic_error("windowed wrapper: inner summary \"" +
+                           summary->Name() + "\" is not sample-backed");
+  }
+  Sample out = sample->TakeSample();
+  ReleaseInner(std::move(builder));
+  return out;
+}
+
+void WindowedSummarizer::SealCurrentBucket(std::int64_t next_epoch) {
+  if (cur_items_.empty()) return;
+  if (cur_epoch_ <= next_epoch - buckets()) {
+    // The bucket would be born expired (the clock jumped past the whole
+    // window); skip the build and just recycle the buffer.
+    cur_items_.clear();
+    return;
+  }
+  Slot& slot = ring_[static_cast<std::size_t>(
+      ((cur_epoch_ % buckets()) + buckets()) % buckets())];
+  slot.epoch = cur_epoch_;
+  slot.sample = BuildBucketSample(cur_epoch_, cur_items_);
+  cur_items_.clear();  // keeps capacity: the next bucket reuses it
+}
+
+void WindowedSummarizer::RetireExpired(std::int64_t current_epoch) {
+  for (Slot& slot : ring_) {
+    if (slot.epoch != kNoEpoch && slot.epoch <= current_epoch - buckets()) {
+      slot.epoch = kNoEpoch;
+      slot.sample = Sample();  // frees the retired bucket's entries
+    }
+  }
+}
+
+void WindowedSummarizer::Advance(double now) {
+  RequireLive("Advance");
+  if (!std::isfinite(now)) {
+    throw std::invalid_argument("windowed summarizer: Advance to a "
+                                "non-finite time");
+  }
+  if (now <= now_) return;  // the clock is monotone
+  now_ = now;
+  const std::int64_t epoch = EpochOf(now);
+  if (epoch == cur_epoch_) return;
+  SealCurrentBucket(epoch);
+  RetireExpired(epoch);
+  cur_epoch_ = epoch;
+  InvalidateCache();
+}
+
+void WindowedSummarizer::Add(const WeightedKey& item) {
+  RequireLive("Add");
+  cur_items_.push_back(item);
+  InvalidateCache();
+}
+
+void WindowedSummarizer::AddBatch(std::span<const WeightedKey> items) {
+  RequireLive("AddBatch");
+  if (items.empty()) return;
+  cur_items_.insert(cur_items_.end(), items.begin(), items.end());
+  InvalidateCache();
+}
+
+void WindowedSummarizer::AddTimed(double ts, const WeightedKey& item) {
+  RequireLive("AddTimed");
+  if (!std::isfinite(ts)) {
+    throw std::invalid_argument("windowed summarizer: AddTimed with a "
+                                "non-finite timestamp");
+  }
+  if (ts > now_) Advance(ts);
+  if (ts < now_) {
+    // Late arrival: the stream is not reordered. Items whose epoch has
+    // already left the window are dropped; the rest join the current
+    // bucket (expiring up to one bucket span later than their timestamp
+    // alone would suggest).
+    if (EpochOf(ts) <= cur_epoch_ - buckets()) {
+      ++dropped_items_;
+      return;
+    }
+    ++late_items_;
+  }
+  Add(item);
+}
+
+const Sample& WindowedSummarizer::MergedWindow() {
+  if (cache_valid_) return cached_window_;
+  merge_parts_.clear();
+  // Oldest to newest, so the part order (and with it the merge) is a
+  // deterministic function of the ring state.
+  for (int back = buckets() - 1; back >= 1; --back) {
+    const std::int64_t epoch = cur_epoch_ - back;
+    const Slot& slot = ring_[static_cast<std::size_t>(
+        ((epoch % buckets()) + buckets()) % buckets())];
+    if (slot.epoch == epoch) merge_parts_.push_back(&slot.sample);
+  }
+  Sample partial;
+  if (!cur_items_.empty()) {
+    partial = BuildBucketSample(cur_epoch_, cur_items_);
+    merge_parts_.push_back(&partial);
+  }
+  // The merge seed is a deterministic function of (config seed, epoch,
+  // items in the current bucket), so replaying a timestamped input
+  // reproduces every queried sample bit-identically.
+  Rng merge_rng(ForkSeed(
+      merge_seed_base_,
+      Mix64(static_cast<std::uint64_t>(cur_epoch_)) ^ cur_items_.size()));
+  cached_window_ =
+      MergeSampleParts(merge_parts_.data(), merge_parts_.size(),
+                       static_cast<std::size_t>(cfg_.s), &merge_rng,
+                       &merge_scratch_);
+  ++merges_;
+  cache_valid_ = true;
+  return cached_window_;
+}
+
+const Sample& WindowedSummarizer::QueryAt(double now) {
+  RequireLive("QueryAt");
+  Advance(now);
+  return MergedWindow();
+}
+
+std::unique_ptr<RangeSummary> WindowedSummarizer::Finalize() {
+  RequireLive("Finalize");
+  MergedWindow();
+  finalized_ = true;
+  return std::make_unique<SampleSummary>(key_, std::move(cached_window_));
+}
+
+std::unique_ptr<Summarizer> MakeWindowedSummarizer(
+    const std::string& key, const SummarizerConfig& cfg) {
+  const WindowedKeySpec spec = ParseWindowedKey(key);
+  return std::make_unique<WindowedSummarizer>(key, spec, cfg);
+}
+
+}  // namespace sas

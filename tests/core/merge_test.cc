@@ -211,5 +211,61 @@ TEST(MergeSamples, RepeatedMergeStaysUnbiased) {
   }
 }
 
+TEST(MergeAllSamples, ZeroEntryPartsAreCarriedHarmlessly) {
+  // The windowed ring routinely merges buckets whose samples hold no
+  // entries (all-zero-weight epochs); they must not disturb the result.
+  Rng rng(39);
+  std::vector<WeightedKey> items;
+  for (KeyId i = 0; i < 300; ++i) {
+    items.push_back({i, rng.NextPareto(1.3), {i, i}});
+  }
+  Weight exact_total = 0.0;
+  for (const auto& it : items) exact_total += it.weight;
+
+  std::vector<Sample> parts;
+  parts.emplace_back();                              // default: 0 entries
+  parts.push_back(VarOptOffline(items, 50.0, &rng));
+  parts.push_back(Sample(3.0, {}));                  // tau set, no entries
+  const Sample merged = MergeAllSamples(parts, 50, &rng);
+  EXPECT_NEAR(merged.EstimateTotal() / exact_total, 1.0, 1e-9);
+  EXPECT_NEAR(static_cast<double>(merged.size()), 50.0, 1.0);
+
+  // All parts empty: an empty, zero-threshold sample.
+  std::vector<Sample> empties(3);
+  const Sample empty = MergeAllSamples(empties, 10, &rng);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_DOUBLE_EQ(empty.tau(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.EstimateTotal(), 0.0);
+}
+
+TEST(MergeSampleParts, ScratchReuseMatchesPlainMerge) {
+  // The pointer/scratch flavor is the same merge: identical draws from an
+  // identically-seeded RNG must give the identical sample, across repeated
+  // reuse of one scratch.
+  Rng rng(40);
+  std::vector<WeightedKey> items;
+  for (KeyId i = 0; i < 400; ++i) {
+    items.push_back({i, rng.NextPareto(1.2), {i, i}});
+  }
+  const std::vector<WeightedKey> half_a(items.begin(), items.begin() + 200);
+  const std::vector<WeightedKey> half_b(items.begin() + 200, items.end());
+  const Sample a = VarOptOffline(half_a, 60.0, &rng);
+  const Sample b = VarOptOffline(half_b, 60.0, &rng);
+
+  MergeScratch scratch;
+  for (int round = 0; round < 3; ++round) {
+    Rng r1(123), r2(123);
+    const Sample plain = MergeSamples(a, b, 60, &r1);
+    const Sample* parts[2] = {&a, &b};
+    const Sample pooled = MergeSampleParts(parts, 2, 60, &r2, &scratch);
+    ASSERT_EQ(plain.size(), pooled.size());
+    EXPECT_DOUBLE_EQ(plain.tau(), pooled.tau());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+      EXPECT_EQ(plain.entries()[i].id, pooled.entries()[i].id);
+      EXPECT_DOUBLE_EQ(plain.entries()[i].weight, pooled.entries()[i].weight);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sas

@@ -1,0 +1,109 @@
+#include "data/trace_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sas {
+namespace {
+
+TEST(TraceReader, ParsesMinimalThreeColumnLines) {
+  std::istringstream in("0.5,7,12.25\n1.75,9,3\n");
+  TraceReader reader(in);
+  std::vector<TimedItem> batch;
+  ASSERT_TRUE(reader.NextBatch(&batch));
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_DOUBLE_EQ(batch[0].ts, 0.5);
+  EXPECT_EQ(batch[0].item.id, 7u);
+  EXPECT_DOUBLE_EQ(batch[0].item.weight, 12.25);
+  // Without x/y columns the key doubles as the x coordinate.
+  EXPECT_EQ(batch[0].item.pt.x, 7u);
+  EXPECT_EQ(batch[0].item.pt.y, 0u);
+  EXPECT_DOUBLE_EQ(batch[1].ts, 1.75);
+  EXPECT_FALSE(reader.NextBatch(&batch));
+  EXPECT_EQ(reader.records_read(), 2u);
+  EXPECT_EQ(reader.lines_skipped(), 0u);
+}
+
+TEST(TraceReader, ParsesOptionalCoordinateColumns) {
+  std::istringstream in("1,42,2.5,1000\n2,43,3.5,2000,3000\n");
+  TraceReader reader(in);
+  std::vector<TimedItem> batch;
+  ASSERT_TRUE(reader.NextBatch(&batch));
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].item.pt.x, 1000u);
+  EXPECT_EQ(batch[0].item.pt.y, 0u);
+  EXPECT_EQ(batch[1].item.pt.x, 2000u);
+  EXPECT_EQ(batch[1].item.pt.y, 3000u);
+}
+
+TEST(TraceReader, BatchSizeBoundsEachCall) {
+  std::string csv;
+  for (int i = 0; i < 10; ++i) csv += std::to_string(i) + ",1,1\n";
+  std::istringstream in(csv);
+  TraceReader::Options opt;
+  opt.batch_size = 4;
+  TraceReader reader(in, opt);
+  std::vector<TimedItem> batch;
+  std::vector<std::size_t> sizes;
+  while (reader.NextBatch(&batch)) sizes.push_back(batch.size());
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 4u);
+  EXPECT_EQ(sizes[1], 4u);
+  EXPECT_EQ(sizes[2], 2u);
+  EXPECT_EQ(reader.records_read(), 10u);
+}
+
+TEST(TraceReader, SkipsHeaderCommentsBlanksAndMalformedLines) {
+  const std::string csv =
+      "timestamp,key,weight\n"       // header: skipped silently
+      "# collector v2 export\n"      // comment
+      "\n"                           // blank
+      "   \t\n"                      // whitespace-only
+      "1.0,1,2.0\n"                  // good
+      "not,a,record\n"               // malformed: counted
+      "2.0,-3,1.0\n"                 // negative key: malformed
+      "3.0,2\n"                      // too few fields: malformed
+      "4.0,3,inf\n"                  // non-finite weight: malformed
+      "5.0,4,4.0\r\n";               // CRLF line endings parse
+  std::istringstream in(csv);
+  TraceReader reader(in);
+  std::vector<TimedItem> batch;
+  std::vector<TimedItem> all;
+  while (reader.NextBatch(&batch)) {
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[0].ts, 1.0);
+  EXPECT_DOUBLE_EQ(all[1].ts, 5.0);
+  EXPECT_DOUBLE_EQ(all[1].item.weight, 4.0);
+  EXPECT_EQ(reader.records_read(), 2u);
+  EXPECT_EQ(reader.lines_skipped(), 4u);
+}
+
+TEST(TraceReader, EmptyStream) {
+  std::istringstream in("");
+  TraceReader reader(in);
+  std::vector<TimedItem> batch{{1.0, {0, 1.0, {0, 0}}}};
+  EXPECT_FALSE(reader.NextBatch(&batch));
+  EXPECT_TRUE(batch.empty());  // cleared even at EOF
+  EXPECT_EQ(reader.records_read(), 0u);
+}
+
+TEST(TraceReader, SpacePaddingAndCustomDelimiter) {
+  std::istringstream in(" 1.5 ;\t8 ; 2.5 \n");
+  TraceReader::Options opt;
+  opt.delimiter = ';';
+  TraceReader reader(in, opt);
+  std::vector<TimedItem> batch;
+  ASSERT_TRUE(reader.NextBatch(&batch));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_DOUBLE_EQ(batch[0].ts, 1.5);
+  EXPECT_EQ(batch[0].item.id, 8u);
+  EXPECT_DOUBLE_EQ(batch[0].item.weight, 2.5);
+}
+
+}  // namespace
+}  // namespace sas

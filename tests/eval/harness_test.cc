@@ -67,6 +67,36 @@ TEST(BuildMethods, AcceptsShardedKeys) {
   }
 }
 
+TEST(BuildMethods, AcceptsWindowedKeys) {
+  // Composed windowed keys flow through the harness like any other method
+  // key: without timed ingest the ring is a single bucket at time 0, so
+  // the harness's batch datasets evaluate normally — and the wrappers
+  // nest with sharded: in either order.
+  const auto ds = SmallDataset();
+  const auto built = BuildMethods(ds, 100,
+                                  {"windowed:3600:6:obliv",
+                                   "windowed:3600:6:sharded:2:obliv",
+                                   "sharded:2:windowed:3600:6:obliv"},
+                                  42);
+  ASSERT_EQ(built.size(), 3u);
+  EXPECT_EQ(built[0].summary->Name(), "windowed:3600:6:obliv");
+  EXPECT_EQ(built[1].summary->Name(), "windowed:3600:6:sharded:2:obliv");
+  EXPECT_EQ(built[2].summary->Name(), "sharded:2:windowed:3600:6:obliv");
+  for (const auto& b : built) {
+    // Merged VarOpt size is s up to a +-1 floating-point residual.
+    EXPECT_NEAR(static_cast<double>(b.summary->SizeInElements()), 100.0, 1.0);
+  }
+
+  Rng rng(4);
+  const auto battery =
+      UniformAreaQueries(ds.items, ds.domain, 8, 5, 0.4, &rng);
+  for (const auto& b : built) {
+    const auto result = EvaluateOnBattery(b, battery);
+    EXPECT_EQ(result.errors.count, 8u);
+    EXPECT_LT(result.errors.mean_abs, 0.5);
+  }
+}
+
 TEST(EvaluateOnBattery, ErrorsAreFiniteAndSmallForSamples) {
   const auto ds = SmallDataset();
   Rng rng(9);
