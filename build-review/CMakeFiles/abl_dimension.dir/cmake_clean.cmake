@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dimension.dir/bench/abl_dimension.cc.o"
+  "CMakeFiles/abl_dimension.dir/bench/abl_dimension.cc.o.d"
+  "abl_dimension"
+  "abl_dimension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

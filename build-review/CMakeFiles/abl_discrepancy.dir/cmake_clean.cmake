@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_discrepancy.dir/bench/abl_discrepancy.cc.o"
+  "CMakeFiles/abl_discrepancy.dir/bench/abl_discrepancy.cc.o.d"
+  "abl_discrepancy"
+  "abl_discrepancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_discrepancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multirange.dir/bench/abl_multirange.cc.o"
+  "CMakeFiles/abl_multirange.dir/bench/abl_multirange.cc.o.d"
+  "abl_multirange"
+  "abl_multirange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multirange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_product_discrepancy.dir/bench/abl_product_discrepancy.cc.o"
+  "CMakeFiles/abl_product_discrepancy.dir/bench/abl_product_discrepancy.cc.o.d"
+  "abl_product_discrepancy"
+  "abl_product_discrepancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_product_discrepancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

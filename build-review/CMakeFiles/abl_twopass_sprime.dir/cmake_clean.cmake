@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_twopass_sprime.dir/bench/abl_twopass_sprime.cc.o"
+  "CMakeFiles/abl_twopass_sprime.dir/bench/abl_twopass_sprime.cc.o.d"
+  "abl_twopass_sprime"
+  "abl_twopass_sprime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_twopass_sprime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_twopass_sprime.
+# This may be replaced when dependencies are built.

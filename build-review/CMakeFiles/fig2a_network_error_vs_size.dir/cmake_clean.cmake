@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_network_error_vs_size.dir/bench/fig2a_network_error_vs_size.cc.o"
+  "CMakeFiles/fig2a_network_error_vs_size.dir/bench/fig2a_network_error_vs_size.cc.o.d"
+  "fig2a_network_error_vs_size"
+  "fig2a_network_error_vs_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_network_error_vs_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

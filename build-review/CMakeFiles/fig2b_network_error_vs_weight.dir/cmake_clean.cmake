@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_network_error_vs_weight.dir/bench/fig2b_network_error_vs_weight.cc.o"
+  "CMakeFiles/fig2b_network_error_vs_weight.dir/bench/fig2b_network_error_vs_weight.cc.o.d"
+  "fig2b_network_error_vs_weight"
+  "fig2b_network_error_vs_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_network_error_vs_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

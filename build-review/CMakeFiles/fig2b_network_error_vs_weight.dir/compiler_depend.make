@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2b_network_error_vs_weight.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2c_network_error_vs_ranges.dir/bench/fig2c_network_error_vs_ranges.cc.o"
+  "CMakeFiles/fig2c_network_error_vs_ranges.dir/bench/fig2c_network_error_vs_ranges.cc.o.d"
+  "fig2c_network_error_vs_ranges"
+  "fig2c_network_error_vs_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_network_error_vs_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2c_network_error_vs_ranges.
+# This may be replaced when dependencies are built.

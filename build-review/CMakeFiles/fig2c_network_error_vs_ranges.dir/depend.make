@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2c_network_error_vs_ranges.
+# This may be replaced when dependencies are built.

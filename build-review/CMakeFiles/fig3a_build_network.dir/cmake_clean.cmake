@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_build_network.dir/bench/fig3a_build_network.cc.o"
+  "CMakeFiles/fig3a_build_network.dir/bench/fig3a_build_network.cc.o.d"
+  "fig3a_build_network"
+  "fig3a_build_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_build_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

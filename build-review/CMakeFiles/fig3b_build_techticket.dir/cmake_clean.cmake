@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_build_techticket.dir/bench/fig3b_build_techticket.cc.o"
+  "CMakeFiles/fig3b_build_techticket.dir/bench/fig3b_build_techticket.cc.o.d"
+  "fig3b_build_techticket"
+  "fig3b_build_techticket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_build_techticket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3b_build_techticket.
+# This may be replaced when dependencies are built.

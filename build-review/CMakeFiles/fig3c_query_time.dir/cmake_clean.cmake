@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_query_time.dir/bench/fig3c_query_time.cc.o"
+  "CMakeFiles/fig3c_query_time.dir/bench/fig3c_query_time.cc.o.d"
+  "fig3c_query_time"
+  "fig3c_query_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_query_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_ticket_error_vs_size.dir/bench/fig4a_ticket_error_vs_size.cc.o"
+  "CMakeFiles/fig4a_ticket_error_vs_size.dir/bench/fig4a_ticket_error_vs_size.cc.o.d"
+  "fig4a_ticket_error_vs_size"
+  "fig4a_ticket_error_vs_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_ticket_error_vs_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4a_ticket_error_vs_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_ticket_error_vs_weight_area.dir/bench/fig4b_ticket_error_vs_weight_area.cc.o"
+  "CMakeFiles/fig4b_ticket_error_vs_weight_area.dir/bench/fig4b_ticket_error_vs_weight_area.cc.o.d"
+  "fig4b_ticket_error_vs_weight_area"
+  "fig4b_ticket_error_vs_weight_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_ticket_error_vs_weight_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4b_ticket_error_vs_weight_area.
+# This may be replaced when dependencies are built.

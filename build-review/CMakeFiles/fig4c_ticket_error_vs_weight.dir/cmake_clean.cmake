@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_ticket_error_vs_weight.dir/bench/fig4c_ticket_error_vs_weight.cc.o"
+  "CMakeFiles/fig4c_ticket_error_vs_weight.dir/bench/fig4c_ticket_error_vs_weight.cc.o.d"
+  "fig4c_ticket_error_vs_weight"
+  "fig4c_ticket_error_vs_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_ticket_error_vs_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4c_ticket_error_vs_weight.
+# This may be replaced when dependencies are built.

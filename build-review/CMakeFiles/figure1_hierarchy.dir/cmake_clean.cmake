@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_hierarchy.dir/examples/figure1_hierarchy.cpp.o"
+  "CMakeFiles/figure1_hierarchy.dir/examples/figure1_hierarchy.cpp.o.d"
+  "figure1_hierarchy"
+  "figure1_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

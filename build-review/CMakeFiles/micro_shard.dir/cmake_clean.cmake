@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_shard.dir/bench/micro_shard.cc.o"
+  "CMakeFiles/micro_shard.dir/bench/micro_shard.cc.o.d"
+  "micro_shard"
+  "micro_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

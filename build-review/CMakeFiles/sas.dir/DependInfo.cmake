@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/builders.cc" "CMakeFiles/sas.dir/src/api/builders.cc.o" "gcc" "CMakeFiles/sas.dir/src/api/builders.cc.o.d"
+  "/root/repo/src/api/registry.cc" "CMakeFiles/sas.dir/src/api/registry.cc.o" "gcc" "CMakeFiles/sas.dir/src/api/registry.cc.o.d"
+  "/root/repo/src/api/sharded.cc" "CMakeFiles/sas.dir/src/api/sharded.cc.o" "gcc" "CMakeFiles/sas.dir/src/api/sharded.cc.o.d"
+  "/root/repo/src/api/summarizer.cc" "CMakeFiles/sas.dir/src/api/summarizer.cc.o" "gcc" "CMakeFiles/sas.dir/src/api/summarizer.cc.o.d"
+  "/root/repo/src/api/summary.cc" "CMakeFiles/sas.dir/src/api/summary.cc.o" "gcc" "CMakeFiles/sas.dir/src/api/summary.cc.o.d"
+  "/root/repo/src/aware/disjoint_summarizer.cc" "CMakeFiles/sas.dir/src/aware/disjoint_summarizer.cc.o" "gcc" "CMakeFiles/sas.dir/src/aware/disjoint_summarizer.cc.o.d"
+  "/root/repo/src/aware/hierarchy_summarizer.cc" "CMakeFiles/sas.dir/src/aware/hierarchy_summarizer.cc.o" "gcc" "CMakeFiles/sas.dir/src/aware/hierarchy_summarizer.cc.o.d"
+  "/root/repo/src/aware/kd_hierarchy.cc" "CMakeFiles/sas.dir/src/aware/kd_hierarchy.cc.o" "gcc" "CMakeFiles/sas.dir/src/aware/kd_hierarchy.cc.o.d"
+  "/root/repo/src/aware/kd_nd.cc" "CMakeFiles/sas.dir/src/aware/kd_nd.cc.o" "gcc" "CMakeFiles/sas.dir/src/aware/kd_nd.cc.o.d"
+  "/root/repo/src/aware/order_summarizer.cc" "CMakeFiles/sas.dir/src/aware/order_summarizer.cc.o" "gcc" "CMakeFiles/sas.dir/src/aware/order_summarizer.cc.o.d"
+  "/root/repo/src/aware/product_summarizer.cc" "CMakeFiles/sas.dir/src/aware/product_summarizer.cc.o" "gcc" "CMakeFiles/sas.dir/src/aware/product_summarizer.cc.o.d"
+  "/root/repo/src/aware/two_pass.cc" "CMakeFiles/sas.dir/src/aware/two_pass.cc.o" "gcc" "CMakeFiles/sas.dir/src/aware/two_pass.cc.o.d"
+  "/root/repo/src/core/discrepancy.cc" "CMakeFiles/sas.dir/src/core/discrepancy.cc.o" "gcc" "CMakeFiles/sas.dir/src/core/discrepancy.cc.o.d"
+  "/root/repo/src/core/ipps.cc" "CMakeFiles/sas.dir/src/core/ipps.cc.o" "gcc" "CMakeFiles/sas.dir/src/core/ipps.cc.o.d"
+  "/root/repo/src/core/merge.cc" "CMakeFiles/sas.dir/src/core/merge.cc.o" "gcc" "CMakeFiles/sas.dir/src/core/merge.cc.o.d"
+  "/root/repo/src/core/pair_aggregate.cc" "CMakeFiles/sas.dir/src/core/pair_aggregate.cc.o" "gcc" "CMakeFiles/sas.dir/src/core/pair_aggregate.cc.o.d"
+  "/root/repo/src/core/prob_vector.cc" "CMakeFiles/sas.dir/src/core/prob_vector.cc.o" "gcc" "CMakeFiles/sas.dir/src/core/prob_vector.cc.o.d"
+  "/root/repo/src/core/random.cc" "CMakeFiles/sas.dir/src/core/random.cc.o" "gcc" "CMakeFiles/sas.dir/src/core/random.cc.o.d"
+  "/root/repo/src/core/sample.cc" "CMakeFiles/sas.dir/src/core/sample.cc.o" "gcc" "CMakeFiles/sas.dir/src/core/sample.cc.o.d"
+  "/root/repo/src/core/sample_queries.cc" "CMakeFiles/sas.dir/src/core/sample_queries.cc.o" "gcc" "CMakeFiles/sas.dir/src/core/sample_queries.cc.o.d"
+  "/root/repo/src/core/tail_bounds.cc" "CMakeFiles/sas.dir/src/core/tail_bounds.cc.o" "gcc" "CMakeFiles/sas.dir/src/core/tail_bounds.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "CMakeFiles/sas.dir/src/data/dataset.cc.o" "gcc" "CMakeFiles/sas.dir/src/data/dataset.cc.o.d"
+  "/root/repo/src/data/network_gen.cc" "CMakeFiles/sas.dir/src/data/network_gen.cc.o" "gcc" "CMakeFiles/sas.dir/src/data/network_gen.cc.o.d"
+  "/root/repo/src/data/query_gen.cc" "CMakeFiles/sas.dir/src/data/query_gen.cc.o" "gcc" "CMakeFiles/sas.dir/src/data/query_gen.cc.o.d"
+  "/root/repo/src/data/techticket_gen.cc" "CMakeFiles/sas.dir/src/data/techticket_gen.cc.o" "gcc" "CMakeFiles/sas.dir/src/data/techticket_gen.cc.o.d"
+  "/root/repo/src/data/trace_reader.cc" "CMakeFiles/sas.dir/src/data/trace_reader.cc.o" "gcc" "CMakeFiles/sas.dir/src/data/trace_reader.cc.o.d"
+  "/root/repo/src/data/zipf.cc" "CMakeFiles/sas.dir/src/data/zipf.cc.o" "gcc" "CMakeFiles/sas.dir/src/data/zipf.cc.o.d"
+  "/root/repo/src/eval/harness.cc" "CMakeFiles/sas.dir/src/eval/harness.cc.o" "gcc" "CMakeFiles/sas.dir/src/eval/harness.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "CMakeFiles/sas.dir/src/eval/metrics.cc.o" "gcc" "CMakeFiles/sas.dir/src/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/table.cc" "CMakeFiles/sas.dir/src/eval/table.cc.o" "gcc" "CMakeFiles/sas.dir/src/eval/table.cc.o.d"
+  "/root/repo/src/sampling/poisson.cc" "CMakeFiles/sas.dir/src/sampling/poisson.cc.o" "gcc" "CMakeFiles/sas.dir/src/sampling/poisson.cc.o.d"
+  "/root/repo/src/sampling/stream_varopt.cc" "CMakeFiles/sas.dir/src/sampling/stream_varopt.cc.o" "gcc" "CMakeFiles/sas.dir/src/sampling/stream_varopt.cc.o.d"
+  "/root/repo/src/sampling/systematic.cc" "CMakeFiles/sas.dir/src/sampling/systematic.cc.o" "gcc" "CMakeFiles/sas.dir/src/sampling/systematic.cc.o.d"
+  "/root/repo/src/sampling/varopt_offline.cc" "CMakeFiles/sas.dir/src/sampling/varopt_offline.cc.o" "gcc" "CMakeFiles/sas.dir/src/sampling/varopt_offline.cc.o.d"
+  "/root/repo/src/structure/dyadic.cc" "CMakeFiles/sas.dir/src/structure/dyadic.cc.o" "gcc" "CMakeFiles/sas.dir/src/structure/dyadic.cc.o.d"
+  "/root/repo/src/structure/hierarchy.cc" "CMakeFiles/sas.dir/src/structure/hierarchy.cc.o" "gcc" "CMakeFiles/sas.dir/src/structure/hierarchy.cc.o.d"
+  "/root/repo/src/structure/order.cc" "CMakeFiles/sas.dir/src/structure/order.cc.o" "gcc" "CMakeFiles/sas.dir/src/structure/order.cc.o.d"
+  "/root/repo/src/structure/product.cc" "CMakeFiles/sas.dir/src/structure/product.cc.o" "gcc" "CMakeFiles/sas.dir/src/structure/product.cc.o.d"
+  "/root/repo/src/summaries/count_sketch.cc" "CMakeFiles/sas.dir/src/summaries/count_sketch.cc.o" "gcc" "CMakeFiles/sas.dir/src/summaries/count_sketch.cc.o.d"
+  "/root/repo/src/summaries/dyadic_sketch.cc" "CMakeFiles/sas.dir/src/summaries/dyadic_sketch.cc.o" "gcc" "CMakeFiles/sas.dir/src/summaries/dyadic_sketch.cc.o.d"
+  "/root/repo/src/summaries/exact_summary.cc" "CMakeFiles/sas.dir/src/summaries/exact_summary.cc.o" "gcc" "CMakeFiles/sas.dir/src/summaries/exact_summary.cc.o.d"
+  "/root/repo/src/summaries/haar1d.cc" "CMakeFiles/sas.dir/src/summaries/haar1d.cc.o" "gcc" "CMakeFiles/sas.dir/src/summaries/haar1d.cc.o.d"
+  "/root/repo/src/summaries/qdigest.cc" "CMakeFiles/sas.dir/src/summaries/qdigest.cc.o" "gcc" "CMakeFiles/sas.dir/src/summaries/qdigest.cc.o.d"
+  "/root/repo/src/summaries/qdigest2d.cc" "CMakeFiles/sas.dir/src/summaries/qdigest2d.cc.o" "gcc" "CMakeFiles/sas.dir/src/summaries/qdigest2d.cc.o.d"
+  "/root/repo/src/summaries/wavelet1d.cc" "CMakeFiles/sas.dir/src/summaries/wavelet1d.cc.o" "gcc" "CMakeFiles/sas.dir/src/summaries/wavelet1d.cc.o.d"
+  "/root/repo/src/summaries/wavelet2d.cc" "CMakeFiles/sas.dir/src/summaries/wavelet2d.cc.o" "gcc" "CMakeFiles/sas.dir/src/summaries/wavelet2d.cc.o.d"
+  "/root/repo/src/window/windowed.cc" "CMakeFiles/sas.dir/src/window/windowed.cc.o" "gcc" "CMakeFiles/sas.dir/src/window/windowed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sas_api_tests.dir/tests/api/registry_test.cc.o"
+  "CMakeFiles/sas_api_tests.dir/tests/api/registry_test.cc.o.d"
+  "CMakeFiles/sas_api_tests.dir/tests/api/sharded_test.cc.o"
+  "CMakeFiles/sas_api_tests.dir/tests/api/sharded_test.cc.o.d"
+  "CMakeFiles/sas_api_tests.dir/tests/api/summarizer_test.cc.o"
+  "CMakeFiles/sas_api_tests.dir/tests/api/summarizer_test.cc.o.d"
+  "sas_api_tests"
+  "sas_api_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sas_api_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

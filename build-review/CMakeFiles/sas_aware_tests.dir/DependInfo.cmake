@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aware/disjoint_summarizer_test.cc" "CMakeFiles/sas_aware_tests.dir/tests/aware/disjoint_summarizer_test.cc.o" "gcc" "CMakeFiles/sas_aware_tests.dir/tests/aware/disjoint_summarizer_test.cc.o.d"
+  "/root/repo/tests/aware/hierarchy_summarizer_test.cc" "CMakeFiles/sas_aware_tests.dir/tests/aware/hierarchy_summarizer_test.cc.o" "gcc" "CMakeFiles/sas_aware_tests.dir/tests/aware/hierarchy_summarizer_test.cc.o.d"
+  "/root/repo/tests/aware/kd_hierarchy_test.cc" "CMakeFiles/sas_aware_tests.dir/tests/aware/kd_hierarchy_test.cc.o" "gcc" "CMakeFiles/sas_aware_tests.dir/tests/aware/kd_hierarchy_test.cc.o.d"
+  "/root/repo/tests/aware/kd_nd_test.cc" "CMakeFiles/sas_aware_tests.dir/tests/aware/kd_nd_test.cc.o" "gcc" "CMakeFiles/sas_aware_tests.dir/tests/aware/kd_nd_test.cc.o.d"
+  "/root/repo/tests/aware/order_summarizer_test.cc" "CMakeFiles/sas_aware_tests.dir/tests/aware/order_summarizer_test.cc.o" "gcc" "CMakeFiles/sas_aware_tests.dir/tests/aware/order_summarizer_test.cc.o.d"
+  "/root/repo/tests/aware/product_summarizer_test.cc" "CMakeFiles/sas_aware_tests.dir/tests/aware/product_summarizer_test.cc.o" "gcc" "CMakeFiles/sas_aware_tests.dir/tests/aware/product_summarizer_test.cc.o.d"
+  "/root/repo/tests/aware/two_pass_test.cc" "CMakeFiles/sas_aware_tests.dir/tests/aware/two_pass_test.cc.o" "gcc" "CMakeFiles/sas_aware_tests.dir/tests/aware/two_pass_test.cc.o.d"
+  "/root/repo/tests/aware/two_pass_variants_test.cc" "CMakeFiles/sas_aware_tests.dir/tests/aware/two_pass_variants_test.cc.o" "gcc" "CMakeFiles/sas_aware_tests.dir/tests/aware/two_pass_variants_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/sas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

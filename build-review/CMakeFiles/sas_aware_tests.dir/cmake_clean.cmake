@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sas_aware_tests.dir/tests/aware/disjoint_summarizer_test.cc.o"
+  "CMakeFiles/sas_aware_tests.dir/tests/aware/disjoint_summarizer_test.cc.o.d"
+  "CMakeFiles/sas_aware_tests.dir/tests/aware/hierarchy_summarizer_test.cc.o"
+  "CMakeFiles/sas_aware_tests.dir/tests/aware/hierarchy_summarizer_test.cc.o.d"
+  "CMakeFiles/sas_aware_tests.dir/tests/aware/kd_hierarchy_test.cc.o"
+  "CMakeFiles/sas_aware_tests.dir/tests/aware/kd_hierarchy_test.cc.o.d"
+  "CMakeFiles/sas_aware_tests.dir/tests/aware/kd_nd_test.cc.o"
+  "CMakeFiles/sas_aware_tests.dir/tests/aware/kd_nd_test.cc.o.d"
+  "CMakeFiles/sas_aware_tests.dir/tests/aware/order_summarizer_test.cc.o"
+  "CMakeFiles/sas_aware_tests.dir/tests/aware/order_summarizer_test.cc.o.d"
+  "CMakeFiles/sas_aware_tests.dir/tests/aware/product_summarizer_test.cc.o"
+  "CMakeFiles/sas_aware_tests.dir/tests/aware/product_summarizer_test.cc.o.d"
+  "CMakeFiles/sas_aware_tests.dir/tests/aware/two_pass_test.cc.o"
+  "CMakeFiles/sas_aware_tests.dir/tests/aware/two_pass_test.cc.o.d"
+  "CMakeFiles/sas_aware_tests.dir/tests/aware/two_pass_variants_test.cc.o"
+  "CMakeFiles/sas_aware_tests.dir/tests/aware/two_pass_variants_test.cc.o.d"
+  "sas_aware_tests"
+  "sas_aware_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sas_aware_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

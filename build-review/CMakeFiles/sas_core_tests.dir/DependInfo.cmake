@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/discrepancy_test.cc" "CMakeFiles/sas_core_tests.dir/tests/core/discrepancy_test.cc.o" "gcc" "CMakeFiles/sas_core_tests.dir/tests/core/discrepancy_test.cc.o.d"
+  "/root/repo/tests/core/fastpath_test.cc" "CMakeFiles/sas_core_tests.dir/tests/core/fastpath_test.cc.o" "gcc" "CMakeFiles/sas_core_tests.dir/tests/core/fastpath_test.cc.o.d"
+  "/root/repo/tests/core/ipps_test.cc" "CMakeFiles/sas_core_tests.dir/tests/core/ipps_test.cc.o" "gcc" "CMakeFiles/sas_core_tests.dir/tests/core/ipps_test.cc.o.d"
+  "/root/repo/tests/core/merge_test.cc" "CMakeFiles/sas_core_tests.dir/tests/core/merge_test.cc.o" "gcc" "CMakeFiles/sas_core_tests.dir/tests/core/merge_test.cc.o.d"
+  "/root/repo/tests/core/pair_aggregate_test.cc" "CMakeFiles/sas_core_tests.dir/tests/core/pair_aggregate_test.cc.o" "gcc" "CMakeFiles/sas_core_tests.dir/tests/core/pair_aggregate_test.cc.o.d"
+  "/root/repo/tests/core/prob_vector_test.cc" "CMakeFiles/sas_core_tests.dir/tests/core/prob_vector_test.cc.o" "gcc" "CMakeFiles/sas_core_tests.dir/tests/core/prob_vector_test.cc.o.d"
+  "/root/repo/tests/core/random_test.cc" "CMakeFiles/sas_core_tests.dir/tests/core/random_test.cc.o" "gcc" "CMakeFiles/sas_core_tests.dir/tests/core/random_test.cc.o.d"
+  "/root/repo/tests/core/sample_queries_test.cc" "CMakeFiles/sas_core_tests.dir/tests/core/sample_queries_test.cc.o" "gcc" "CMakeFiles/sas_core_tests.dir/tests/core/sample_queries_test.cc.o.d"
+  "/root/repo/tests/core/sample_test.cc" "CMakeFiles/sas_core_tests.dir/tests/core/sample_test.cc.o" "gcc" "CMakeFiles/sas_core_tests.dir/tests/core/sample_test.cc.o.d"
+  "/root/repo/tests/core/tail_bounds_test.cc" "CMakeFiles/sas_core_tests.dir/tests/core/tail_bounds_test.cc.o" "gcc" "CMakeFiles/sas_core_tests.dir/tests/core/tail_bounds_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/sas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sas_core_tests.dir/tests/core/discrepancy_test.cc.o"
+  "CMakeFiles/sas_core_tests.dir/tests/core/discrepancy_test.cc.o.d"
+  "CMakeFiles/sas_core_tests.dir/tests/core/fastpath_test.cc.o"
+  "CMakeFiles/sas_core_tests.dir/tests/core/fastpath_test.cc.o.d"
+  "CMakeFiles/sas_core_tests.dir/tests/core/ipps_test.cc.o"
+  "CMakeFiles/sas_core_tests.dir/tests/core/ipps_test.cc.o.d"
+  "CMakeFiles/sas_core_tests.dir/tests/core/merge_test.cc.o"
+  "CMakeFiles/sas_core_tests.dir/tests/core/merge_test.cc.o.d"
+  "CMakeFiles/sas_core_tests.dir/tests/core/pair_aggregate_test.cc.o"
+  "CMakeFiles/sas_core_tests.dir/tests/core/pair_aggregate_test.cc.o.d"
+  "CMakeFiles/sas_core_tests.dir/tests/core/prob_vector_test.cc.o"
+  "CMakeFiles/sas_core_tests.dir/tests/core/prob_vector_test.cc.o.d"
+  "CMakeFiles/sas_core_tests.dir/tests/core/random_test.cc.o"
+  "CMakeFiles/sas_core_tests.dir/tests/core/random_test.cc.o.d"
+  "CMakeFiles/sas_core_tests.dir/tests/core/sample_queries_test.cc.o"
+  "CMakeFiles/sas_core_tests.dir/tests/core/sample_queries_test.cc.o.d"
+  "CMakeFiles/sas_core_tests.dir/tests/core/sample_test.cc.o"
+  "CMakeFiles/sas_core_tests.dir/tests/core/sample_test.cc.o.d"
+  "CMakeFiles/sas_core_tests.dir/tests/core/tail_bounds_test.cc.o"
+  "CMakeFiles/sas_core_tests.dir/tests/core/tail_bounds_test.cc.o.d"
+  "sas_core_tests"
+  "sas_core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sas_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/network_gen_test.cc" "CMakeFiles/sas_data_tests.dir/tests/data/network_gen_test.cc.o" "gcc" "CMakeFiles/sas_data_tests.dir/tests/data/network_gen_test.cc.o.d"
+  "/root/repo/tests/data/query_gen_test.cc" "CMakeFiles/sas_data_tests.dir/tests/data/query_gen_test.cc.o" "gcc" "CMakeFiles/sas_data_tests.dir/tests/data/query_gen_test.cc.o.d"
+  "/root/repo/tests/data/techticket_gen_test.cc" "CMakeFiles/sas_data_tests.dir/tests/data/techticket_gen_test.cc.o" "gcc" "CMakeFiles/sas_data_tests.dir/tests/data/techticket_gen_test.cc.o.d"
+  "/root/repo/tests/data/trace_reader_test.cc" "CMakeFiles/sas_data_tests.dir/tests/data/trace_reader_test.cc.o" "gcc" "CMakeFiles/sas_data_tests.dir/tests/data/trace_reader_test.cc.o.d"
+  "/root/repo/tests/data/zipf_test.cc" "CMakeFiles/sas_data_tests.dir/tests/data/zipf_test.cc.o" "gcc" "CMakeFiles/sas_data_tests.dir/tests/data/zipf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/sas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sas_data_tests.dir/tests/data/network_gen_test.cc.o"
+  "CMakeFiles/sas_data_tests.dir/tests/data/network_gen_test.cc.o.d"
+  "CMakeFiles/sas_data_tests.dir/tests/data/query_gen_test.cc.o"
+  "CMakeFiles/sas_data_tests.dir/tests/data/query_gen_test.cc.o.d"
+  "CMakeFiles/sas_data_tests.dir/tests/data/techticket_gen_test.cc.o"
+  "CMakeFiles/sas_data_tests.dir/tests/data/techticket_gen_test.cc.o.d"
+  "CMakeFiles/sas_data_tests.dir/tests/data/trace_reader_test.cc.o"
+  "CMakeFiles/sas_data_tests.dir/tests/data/trace_reader_test.cc.o.d"
+  "CMakeFiles/sas_data_tests.dir/tests/data/zipf_test.cc.o"
+  "CMakeFiles/sas_data_tests.dir/tests/data/zipf_test.cc.o.d"
+  "sas_data_tests"
+  "sas_data_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sas_data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sas_eval_tests.dir/tests/eval/harness_test.cc.o"
+  "CMakeFiles/sas_eval_tests.dir/tests/eval/harness_test.cc.o.d"
+  "CMakeFiles/sas_eval_tests.dir/tests/eval/metrics_test.cc.o"
+  "CMakeFiles/sas_eval_tests.dir/tests/eval/metrics_test.cc.o.d"
+  "CMakeFiles/sas_eval_tests.dir/tests/eval/table_test.cc.o"
+  "CMakeFiles/sas_eval_tests.dir/tests/eval/table_test.cc.o.d"
+  "sas_eval_tests"
+  "sas_eval_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sas_eval_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

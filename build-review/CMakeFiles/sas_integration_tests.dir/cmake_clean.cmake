@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sas_integration_tests.dir/tests/integration/edge_cases_test.cc.o"
+  "CMakeFiles/sas_integration_tests.dir/tests/integration/edge_cases_test.cc.o.d"
+  "CMakeFiles/sas_integration_tests.dir/tests/integration/end_to_end_test.cc.o"
+  "CMakeFiles/sas_integration_tests.dir/tests/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/sas_integration_tests.dir/tests/integration/properties_test.cc.o"
+  "CMakeFiles/sas_integration_tests.dir/tests/integration/properties_test.cc.o.d"
+  "sas_integration_tests"
+  "sas_integration_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sas_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

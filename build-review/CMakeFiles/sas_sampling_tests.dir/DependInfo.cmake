@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sampling/poisson_test.cc" "CMakeFiles/sas_sampling_tests.dir/tests/sampling/poisson_test.cc.o" "gcc" "CMakeFiles/sas_sampling_tests.dir/tests/sampling/poisson_test.cc.o.d"
+  "/root/repo/tests/sampling/stream_varopt_test.cc" "CMakeFiles/sas_sampling_tests.dir/tests/sampling/stream_varopt_test.cc.o" "gcc" "CMakeFiles/sas_sampling_tests.dir/tests/sampling/stream_varopt_test.cc.o.d"
+  "/root/repo/tests/sampling/systematic_test.cc" "CMakeFiles/sas_sampling_tests.dir/tests/sampling/systematic_test.cc.o" "gcc" "CMakeFiles/sas_sampling_tests.dir/tests/sampling/systematic_test.cc.o.d"
+  "/root/repo/tests/sampling/varopt_offline_test.cc" "CMakeFiles/sas_sampling_tests.dir/tests/sampling/varopt_offline_test.cc.o" "gcc" "CMakeFiles/sas_sampling_tests.dir/tests/sampling/varopt_offline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/sas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

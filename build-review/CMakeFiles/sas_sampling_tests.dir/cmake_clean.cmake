@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sas_sampling_tests.dir/tests/sampling/poisson_test.cc.o"
+  "CMakeFiles/sas_sampling_tests.dir/tests/sampling/poisson_test.cc.o.d"
+  "CMakeFiles/sas_sampling_tests.dir/tests/sampling/stream_varopt_test.cc.o"
+  "CMakeFiles/sas_sampling_tests.dir/tests/sampling/stream_varopt_test.cc.o.d"
+  "CMakeFiles/sas_sampling_tests.dir/tests/sampling/systematic_test.cc.o"
+  "CMakeFiles/sas_sampling_tests.dir/tests/sampling/systematic_test.cc.o.d"
+  "CMakeFiles/sas_sampling_tests.dir/tests/sampling/varopt_offline_test.cc.o"
+  "CMakeFiles/sas_sampling_tests.dir/tests/sampling/varopt_offline_test.cc.o.d"
+  "sas_sampling_tests"
+  "sas_sampling_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sas_sampling_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sas_structure_tests.dir/tests/structure/dyadic_test.cc.o"
+  "CMakeFiles/sas_structure_tests.dir/tests/structure/dyadic_test.cc.o.d"
+  "CMakeFiles/sas_structure_tests.dir/tests/structure/hierarchy_test.cc.o"
+  "CMakeFiles/sas_structure_tests.dir/tests/structure/hierarchy_test.cc.o.d"
+  "CMakeFiles/sas_structure_tests.dir/tests/structure/order_test.cc.o"
+  "CMakeFiles/sas_structure_tests.dir/tests/structure/order_test.cc.o.d"
+  "CMakeFiles/sas_structure_tests.dir/tests/structure/product_test.cc.o"
+  "CMakeFiles/sas_structure_tests.dir/tests/structure/product_test.cc.o.d"
+  "sas_structure_tests"
+  "sas_structure_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sas_structure_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

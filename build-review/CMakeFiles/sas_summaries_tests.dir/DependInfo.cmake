@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/summaries/count_sketch_test.cc" "CMakeFiles/sas_summaries_tests.dir/tests/summaries/count_sketch_test.cc.o" "gcc" "CMakeFiles/sas_summaries_tests.dir/tests/summaries/count_sketch_test.cc.o.d"
+  "/root/repo/tests/summaries/dyadic_sketch_test.cc" "CMakeFiles/sas_summaries_tests.dir/tests/summaries/dyadic_sketch_test.cc.o" "gcc" "CMakeFiles/sas_summaries_tests.dir/tests/summaries/dyadic_sketch_test.cc.o.d"
+  "/root/repo/tests/summaries/haar1d_test.cc" "CMakeFiles/sas_summaries_tests.dir/tests/summaries/haar1d_test.cc.o" "gcc" "CMakeFiles/sas_summaries_tests.dir/tests/summaries/haar1d_test.cc.o.d"
+  "/root/repo/tests/summaries/qdigest2d_test.cc" "CMakeFiles/sas_summaries_tests.dir/tests/summaries/qdigest2d_test.cc.o" "gcc" "CMakeFiles/sas_summaries_tests.dir/tests/summaries/qdigest2d_test.cc.o.d"
+  "/root/repo/tests/summaries/qdigest_test.cc" "CMakeFiles/sas_summaries_tests.dir/tests/summaries/qdigest_test.cc.o" "gcc" "CMakeFiles/sas_summaries_tests.dir/tests/summaries/qdigest_test.cc.o.d"
+  "/root/repo/tests/summaries/wavelet1d_test.cc" "CMakeFiles/sas_summaries_tests.dir/tests/summaries/wavelet1d_test.cc.o" "gcc" "CMakeFiles/sas_summaries_tests.dir/tests/summaries/wavelet1d_test.cc.o.d"
+  "/root/repo/tests/summaries/wavelet2d_test.cc" "CMakeFiles/sas_summaries_tests.dir/tests/summaries/wavelet2d_test.cc.o" "gcc" "CMakeFiles/sas_summaries_tests.dir/tests/summaries/wavelet2d_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/sas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sas_summaries_tests.dir/tests/summaries/count_sketch_test.cc.o"
+  "CMakeFiles/sas_summaries_tests.dir/tests/summaries/count_sketch_test.cc.o.d"
+  "CMakeFiles/sas_summaries_tests.dir/tests/summaries/dyadic_sketch_test.cc.o"
+  "CMakeFiles/sas_summaries_tests.dir/tests/summaries/dyadic_sketch_test.cc.o.d"
+  "CMakeFiles/sas_summaries_tests.dir/tests/summaries/haar1d_test.cc.o"
+  "CMakeFiles/sas_summaries_tests.dir/tests/summaries/haar1d_test.cc.o.d"
+  "CMakeFiles/sas_summaries_tests.dir/tests/summaries/qdigest2d_test.cc.o"
+  "CMakeFiles/sas_summaries_tests.dir/tests/summaries/qdigest2d_test.cc.o.d"
+  "CMakeFiles/sas_summaries_tests.dir/tests/summaries/qdigest_test.cc.o"
+  "CMakeFiles/sas_summaries_tests.dir/tests/summaries/qdigest_test.cc.o.d"
+  "CMakeFiles/sas_summaries_tests.dir/tests/summaries/wavelet1d_test.cc.o"
+  "CMakeFiles/sas_summaries_tests.dir/tests/summaries/wavelet1d_test.cc.o.d"
+  "CMakeFiles/sas_summaries_tests.dir/tests/summaries/wavelet2d_test.cc.o"
+  "CMakeFiles/sas_summaries_tests.dir/tests/summaries/wavelet2d_test.cc.o.d"
+  "sas_summaries_tests"
+  "sas_summaries_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sas_summaries_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

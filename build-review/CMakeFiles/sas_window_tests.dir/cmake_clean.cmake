@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sas_window_tests.dir/tests/window/windowed_test.cc.o"
+  "CMakeFiles/sas_window_tests.dir/tests/window/windowed_test.cc.o.d"
+  "sas_window_tests"
+  "sas_window_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sas_window_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticket_explorer.dir/examples/ticket_explorer.cpp.o"
+  "CMakeFiles/ticket_explorer.dir/examples/ticket_explorer.cpp.o.d"
+  "ticket_explorer"
+  "ticket_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticket_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_monitor.dir/examples/window_monitor.cpp.o"
+  "CMakeFiles/window_monitor.dir/examples/window_monitor.cpp.o.d"
+  "window_monitor"
+  "window_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

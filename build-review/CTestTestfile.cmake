@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(core "/root/repo/build-review/sas_core_tests")
+set_tests_properties(core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;65;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(structure "/root/repo/build-review/sas_structure_tests")
+set_tests_properties(structure PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;65;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(sampling "/root/repo/build-review/sas_sampling_tests")
+set_tests_properties(sampling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;65;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(aware "/root/repo/build-review/sas_aware_tests")
+set_tests_properties(aware PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;65;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(summaries "/root/repo/build-review/sas_summaries_tests")
+set_tests_properties(summaries PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;65;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(data "/root/repo/build-review/sas_data_tests")
+set_tests_properties(data PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;65;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(eval "/root/repo/build-review/sas_eval_tests")
+set_tests_properties(eval PROPERTIES  LABELS "tsan" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;65;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(api "/root/repo/build-review/sas_api_tests")
+set_tests_properties(api PROPERTIES  LABELS "tsan" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;65;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(window "/root/repo/build-review/sas_window_tests")
+set_tests_properties(window PROPERTIES  LABELS "tsan" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;65;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(integration "/root/repo/build-review/sas_integration_tests")
+set_tests_properties(integration PROPERTIES  LABELS "tsan" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;65;add_test;/root/repo/CMakeLists.txt;0;")
