@@ -1,0 +1,112 @@
+// 4-dimensional workload end to end: generate a clustered 4-d cloud, build
+// the general d-dimensional structure-aware sample ("nd" key) through the
+// registry/harness path, and answer 4-d box queries from it — alongside the
+// structure-oblivious baseline for contrast. Exits nonzero if any estimate
+// is wildly off, so CI can smoke-test it.
+//
+//   $ ./nd_explorer [points=20000] [s=1000] [dims=4]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "api/registry.h"
+#include "data/nd_gen.h"
+#include "eval/harness.h"
+
+namespace {
+
+std::size_t ArgOr(int argc, char** argv, const char* name,
+                  std::size_t fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sas;
+
+  NdCloudConfig gen;
+  gen.num_points = ArgOr(argc, argv, "points", 20000);
+  gen.dims = static_cast<int>(ArgOr(argc, argv, "dims", 4));
+  gen.seed = 777;
+  const std::size_t s = ArgOr(argc, argv, "s", 1000);
+  if (gen.dims < 1 || gen.dims > 16 || gen.num_points < 1 || s < 1) {
+    std::printf("FAIL: dims must be in [1, 16], points/s >= 1\n");
+    return 1;
+  }
+
+  DatasetNd ds;
+  try {
+    ds = GenerateNdCloud(gen);
+  } catch (const std::invalid_argument& e) {
+    std::printf("FAIL: %s\n", e.what());
+    return 1;
+  }
+  std::printf("dataset: %zu points in %d-D (2^%d per axis), total weight "
+              "%.1f\n",
+              ds.num_points(), ds.dims, ds.axis_bits, ds.total_weight());
+
+  // Build the d-dimensional structure-aware sample and the oblivious
+  // baseline through the same harness path the benches use.
+  const auto built =
+      BuildMethodsNd(ds, s, {keys::kNd, keys::kObliv}, /*seed=*/2026);
+  for (const auto& b : built) {
+    std::printf("built %-6s  %zu entries  %.1f ms\n",
+                b.summary->Name().c_str(), b.summary->SizeInElements(),
+                1e3 * b.build_seconds);
+  }
+
+  // A battery of d-dimensional box queries with exact answers.
+  Rng rng(99);
+  const NdQueryBattery battery =
+      UniformVolumeQueriesNd(ds, /*num_queries=*/40, /*max_frac=*/0.5, &rng);
+
+  bool ok = true;
+  for (const auto& b : built) {
+    const BatteryResult r = EvaluateOnBatteryNd(b, battery, ds);
+    std::printf("%-6s  mean |err|/W = %.4f   max = %.4f   (%zu queries, "
+                "%.2f ms)\n",
+                r.method.c_str(), r.errors.mean_abs, r.errors.max_abs,
+                r.errors.count, 1e3 * r.query_seconds);
+    if (!std::isfinite(r.errors.mean_abs) || r.errors.mean_abs > 0.05) {
+      ok = false;
+    }
+  }
+
+  // One spelled-out 4-d box query: the "corner" subcube of the domain.
+  const Coord half = ds.axis_domain() / 2;
+  BoxN corner(ds.dims);
+  for (auto& iv : corner) iv = {0, half};
+  const SampleSummary& aware = *built[0].summary->AsSample();
+  const Weight est =
+      aware.sample().EstimateSubset([&](const WeightedKey& k) {
+        return BoxNContains(corner, ds.point(k.id));
+      });
+  Weight exact = 0.0;
+  for (std::size_t i = 0; i < ds.num_points(); ++i) {
+    if (BoxNContains(corner, ds.point(i))) exact += ds.weights[i];
+  }
+  std::printf("corner subcube: estimate %10.1f   exact %10.1f   error "
+              "%.2f%%\n",
+              est, exact, 100.0 * (est - exact) / std::max(exact, 1e-9));
+  if (!std::isfinite(est) ||
+      std::fabs(est - exact) > 0.05 * ds.total_weight()) {
+    ok = false;
+  }
+
+  if (!ok) {
+    std::printf("FAIL: an estimate was non-finite or off-scale\n");
+    return 1;
+  }
+  return 0;
+}

@@ -14,6 +14,15 @@
 // Because every method hides behind the same Add/Finalize surface, scale-out
 // wrappers (sharded or async backends) can compose in front of any method
 // without touching call sites.
+//
+// Thread-safety: a Summarizer is single-caller — drive each builder from
+// one thread at a time (no internal synchronization on the ingest path).
+// Distinct builders are fully independent and may run on distinct threads
+// concurrently; the "sharded:" wrapper spawns its worker threads behind
+// this same single-caller surface. SummarizerConfig and StructureSpec are
+// plain value types, freely copyable across threads (the hierarchy pointer
+// in StructureSpec is borrowed — the caller keeps it alive and immutable
+// for the builder's lifetime).
 
 #ifndef SAS_API_SUMMARIZER_H_
 #define SAS_API_SUMMARIZER_H_
@@ -36,6 +45,8 @@ class WindowedSummarizer;
 /// Describes the structure on the key domain that a structure-aware method
 /// should preserve (Section 2 of the paper). Baseline methods ignore it.
 struct StructureSpec {
+  /// Which structure family the method should preserve; selects which of
+  /// the fields below are read.
   enum class Kind { kOrder, kHierarchy, kDisjoint, kProduct, kNd };
 
   Kind kind = Kind::kProduct;
@@ -52,14 +63,20 @@ struct StructureSpec {
   /// dims <= 2).
   int dims = 2;
 
+  /// 1-D total order over the key ids.
   static StructureSpec Order() { return {Kind::kOrder, nullptr, {}, 0, 1}; }
+  /// Key hierarchy; `h` is borrowed and must outlive the summarizer.
   static StructureSpec OverHierarchy(const Hierarchy* h) {
     return {Kind::kHierarchy, h, {}, 0, 1};
   }
+  /// Disjoint flat ranges: range_of[i] is the range of the i-th item added.
   static StructureSpec Disjoint(std::vector<int> range_of, int num_ranges) {
     return {Kind::kDisjoint, nullptr, std::move(range_of), num_ranges, 1};
   }
+  /// 2-D product domain (the default).
   static StructureSpec Product() { return {}; }
+  /// d-dimensional product domain, dims in [1, 16] (validated by the
+  /// registry at MakeSummarizer time).
   static StructureSpec Nd(int dims) {
     return {Kind::kNd, nullptr, {}, 0, dims};
   }
@@ -104,23 +121,36 @@ struct SummarizerConfig {
 
 /// Uniform builder: feed items with Add/AddBatch (or AddCoords for the
 /// d-dimensional method), then call Finalize() exactly once. A finalized
-/// summarizer is spent; build a new one for the next summary.
+/// summarizer is spent; build a new one for the next summary (or recycle
+/// it through Reset() when the method supports that). Single-caller: one
+/// thread drives a given builder at a time.
 class Summarizer {
  public:
+  /// Takes the validated config by value; the registry factories call this
+  /// after eager validation, so cfg is well-formed for the method.
   explicit Summarizer(SummarizerConfig cfg) : cfg_(std::move(cfg)) {}
   virtual ~Summarizer() = default;
 
+  /// Feeds one weighted key. Must not be called after Finalize().
   virtual void Add(const WeightedKey& item) = 0;
 
-  /// Adds a contiguous batch; the default loops over Add.
+  /// Adds a contiguous batch; the default loops over Add. Overrides give
+  /// the hot ingest path a single virtual dispatch per batch.
   virtual void AddBatch(std::span<const WeightedKey> items) {
     for (const WeightedKey& it : items) Add(it);
   }
 
   /// Adds one d-dimensional point (dims coordinates). Only the "nd" method
-  /// supports general d; the default throws std::logic_error.
+  /// supports general d; the default throws std::logic_error, before any
+  /// state changes, so callers may probe and fall back to Add. The "nd"
+  /// builder rejects a dims mismatch with std::invalid_argument and
+  /// mixing Add/AddCoords on one builder with std::logic_error.
   virtual void AddCoords(const Coord* coords, int dims, Weight w);
 
+  /// Builds the summary from everything added. Call exactly once; the
+  /// builder is spent afterwards (unless recycled via Reset). Input-
+  /// dependent config mismatches (hierarchy/range_of counts) throw
+  /// std::invalid_argument from here.
   virtual std::unique_ptr<RangeSummary> Finalize() = 0;
 
   /// Mergeable capability: true when (a) Finalize() produces a sample-backed
@@ -145,12 +175,17 @@ class Summarizer {
     return false;
   }
 
-  /// Downcast to the time-windowed wrapper (window/windowed.h), or nullptr.
-  /// The windowed wrapper extends the builder surface with the timestamped
+  /// Windowed capability: downcast to the time-windowed wrapper
+  /// (window/windowed.h), or nullptr for every non-windowed method. The
+  /// windowed wrapper extends the builder surface with the timestamped
   /// ingest/query calls (AddTimed / Advance / QueryAt) that generic
-  /// summarizers do not have.
+  /// summarizers do not have; callers that never downcast can keep using
+  /// the plain Add/Finalize surface (the ring degenerates to one bucket
+  /// at time 0).
   virtual WindowedSummarizer* AsWindowed() { return nullptr; }
 
+  /// The validated config this builder was constructed with (Reset updates
+  /// its seed in place).
   const SummarizerConfig& config() const { return cfg_; }
 
  protected:

@@ -1,0 +1,163 @@
+#include "aware/kd_build_core.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace sas {
+
+namespace {
+
+struct BuildTask {
+  std::int32_t node;
+  std::uint32_t begin, end;
+  std::int32_t depth;
+  std::int32_t parent_axis;  // axis the parent split on; -1 for the root
+};
+
+static_assert(kKdNull == -1,
+              "KdNodeSoA::Emplace hardcodes -1 as the null child/parent");
+
+}  // namespace
+
+KdCoreBuild KdBuildCore(const Coord* coords, int dims, const double* mass,
+                        std::size_t n, KdBuildScratch* scratch,
+                        std::vector<std::size_t>* item_order) {
+  assert(dims >= 1);
+  assert(n >= 1);
+  MonotonicArena& arena = scratch->arena;
+  arena.Reset();
+
+  auto axis_coord = [&](std::uint32_t item, int axis) {
+    return coords[static_cast<std::size_t>(item) * dims + axis];
+  };
+
+  // One item order per axis, each sorted once (coordinate, then index so
+  // ties are deterministic); every split keeps all d orders sorted by a
+  // stable partition instead of re-sorting the subrange per node.
+  std::uint32_t** ord = arena.AllocateArray<std::uint32_t*>(dims);
+  for (int axis = 0; axis < dims; ++axis) {
+    ord[axis] = arena.AllocateArray<std::uint32_t>(n);
+    std::uint32_t* o = ord[axis];
+    for (std::size_t i = 0; i < n; ++i) o[i] = static_cast<std::uint32_t>(i);
+    std::sort(o, o + n, [&](std::uint32_t a, std::uint32_t b) {
+      const Coord ca = axis_coord(a, axis);
+      const Coord cb = axis_coord(b, axis);
+      return ca != cb ? ca < cb : a < b;
+    });
+  }
+  std::uint32_t* part_tmp = arena.AllocateArray<std::uint32_t>(n);
+
+  const std::size_t node_cap = 2 * n;  // at most 2n - 1 nodes
+  KdCoreBuild out;
+  out.soa.Init(&arena, node_cap);
+  KdNodeSoA& soa = out.soa;
+  // DFS with left child processed first: outstanding tasks cover disjoint
+  // item ranges, so the stack holds at most n of them.
+  BuildTask* stack = arena.AllocateArray<BuildTask>(n + 1);
+  std::size_t stack_size = 0;
+
+  item_order->resize(n);
+  std::int32_t num_nodes = 1;
+  soa.Emplace(0, kKdNull);
+  stack[stack_size++] = {0, 0, static_cast<std::uint32_t>(n), 0, -1};
+  while (stack_size > 0) {
+    const BuildTask t = stack[--stack_size];
+    soa.begin[t.node] = t.begin;
+    soa.end[t.node] = t.end;
+    // Sum the node mass in the order inherited from the parent's split axis
+    // (the root sums input order), matching the classic build's summation
+    // sequence so masses agree bit-for-bit on duplicate-free inputs.
+    double total = 0.0;
+    if (t.parent_axis < 0) {
+      for (std::uint32_t i = t.begin; i < t.end; ++i) total += mass[i];
+    } else {
+      const std::uint32_t* po = ord[t.parent_axis];
+      for (std::uint32_t i = t.begin; i < t.end; ++i) total += mass[po[i]];
+    }
+    soa.mass[t.node] = total;
+    if (t.end - t.begin <= 1) {
+      if (t.end > t.begin) (*item_order)[t.begin] = ord[0][t.begin];
+      continue;  // leaf
+    }
+
+    // Choose the split axis round-robin; fall back to the next axis when
+    // all coordinates coincide on the preferred one. Weighted median: the
+    // coordinate boundary minimizing |left mass - right mass|; only
+    // boundaries between distinct coordinates are valid split positions.
+    int axis = t.depth % dims;
+    int used_axis = axis;
+    bool split_found = false;
+    std::uint32_t split_pos = t.begin;
+    Coord split_val = 0;
+    for (int attempt = 0; attempt < dims && !split_found;
+         ++attempt, axis = (axis + 1) % dims) {
+      const std::uint32_t* o = ord[axis];
+      if (axis_coord(o[t.begin], axis) == axis_coord(o[t.end - 1], axis)) {
+        continue;  // degenerate on this axis
+      }
+      double run = 0.0;
+      double best_gap = std::numeric_limits<double>::infinity();
+      for (std::uint32_t i = t.begin; i + 1 < t.end; ++i) {
+        run += mass[o[i]];
+        if (axis_coord(o[i], axis) == axis_coord(o[i + 1], axis)) {
+          continue;  // not a coordinate boundary
+        }
+        const double gap = std::fabs(total - 2.0 * run);
+        if (gap < best_gap) {
+          best_gap = gap;
+          split_pos = i + 1;
+          split_val = axis_coord(o[i + 1], axis);
+        }
+      }
+      split_found = split_pos > t.begin;
+      used_axis = axis;
+    }
+    if (!split_found) {
+      // All points identical: keep them together as one leaf, emitted in
+      // the order of the last attempted axis (ties are index-ordered, so
+      // any axis agrees).
+      const std::uint32_t* o = ord[(t.depth + dims - 1) % dims];
+      for (std::uint32_t i = t.begin; i < t.end; ++i) {
+        (*item_order)[i] = o[i];
+      }
+      continue;
+    }
+    // The used axis' order is already partitioned by position; stable-
+    // partition every other axis' order around the split coordinate so both
+    // children again see all orders sorted.
+    for (int a = 0; a < dims; ++a) {
+      if (a == used_axis) continue;
+      std::uint32_t* o2 = ord[a];
+      std::uint32_t nl = t.begin, nr = 0;
+      for (std::uint32_t i = t.begin; i < t.end; ++i) {
+        const std::uint32_t item = o2[i];
+        if (axis_coord(item, used_axis) < split_val) {
+          o2[nl++] = item;
+        } else {
+          part_tmp[nr++] = item;
+        }
+      }
+      assert(nl == split_pos);
+      std::copy(part_tmp, part_tmp + nr, o2 + nl);
+    }
+
+    const std::int32_t left = num_nodes++;
+    const std::int32_t right = num_nodes++;
+    soa.Emplace(left, t.node);
+    soa.Emplace(right, t.node);
+    soa.axis[t.node] = used_axis;
+    soa.split[t.node] = split_val;
+    soa.left[t.node] = left;
+    soa.right[t.node] = right;
+    stack[stack_size++] = {right, split_pos, t.end, t.depth + 1, used_axis};
+    stack[stack_size++] = {left, t.begin, split_pos, t.depth + 1, used_axis};
+  }
+
+  assert(static_cast<std::size_t>(num_nodes) < node_cap);
+  out.num_nodes = num_nodes;
+  return out;
+}
+
+}  // namespace sas

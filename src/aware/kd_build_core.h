@@ -1,0 +1,57 @@
+// Dims-parameterized kd build core shared by the 2-D KdHierarchy and the
+// general-d KdHierarchyNd (both are thin wrappers over KdBuildCore).
+//
+// The core owns the whole hot path of a weighted kd construction:
+//
+//  * the sort-once scheme — one item order per axis, each sorted a single
+//    time up front (coordinate, then index so ties are deterministic), with
+//    every split maintaining all d orders through stable partitions instead
+//    of re-sorting subranges per node;
+//  * round-robin axis choice with fallback to the next axis when all
+//    coordinates coincide on the preferred one, splitting at the weighted
+//    median (the coordinate boundary minimizing |left mass - right mass|);
+//  * the SoA node accumulators (KdNodeSoA) and the explicit task stack,
+//    all bump-allocated from the caller's KdBuildScratch arena.
+//
+// Points are flat: point i occupies coords[i*dims .. i*dims+dims). The 2-D
+// wrapper routes its Point2D storage through a flat-coords facade (a
+// static_assert-checked reinterpretation of the point array), so both
+// public entry points run byte-for-byte the same build loop.
+
+#ifndef SAS_AWARE_KD_BUILD_CORE_H_
+#define SAS_AWARE_KD_BUILD_CORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "aware/kd_scratch.h"
+#include "core/types.h"
+
+namespace sas {
+
+/// Null child/parent sentinel of the core's SoA nodes; both public kd
+/// classes pin their own kNull to this value.
+inline constexpr std::int32_t kKdNull = -1;
+
+/// One finished core build. The SoA arrays live in the scratch arena and
+/// stay valid only until the scratch's next Reset (i.e. the next build);
+/// callers copy them into their public node representation before reuse.
+struct KdCoreBuild {
+  KdNodeSoA soa;
+  std::int32_t num_nodes = 0;
+};
+
+/// Builds the kd tree over n flat d-dimensional points with per-point mass
+/// (IPPS probabilities or uniform 1s), filling `item_order` with the item
+/// indices in kd DFS-leaf order. Exact duplicate points are kept together
+/// in one leaf (emitted in index order). Requires n >= 1 and dims >= 1;
+/// the scratch arena is Reset on entry, so one scratch serves one build at
+/// a time and pointers from a previous build are invalidated.
+KdCoreBuild KdBuildCore(const Coord* coords, int dims, const double* mass,
+                        std::size_t n, KdBuildScratch* scratch,
+                        std::vector<std::size_t>* item_order);
+
+}  // namespace sas
+
+#endif  // SAS_AWARE_KD_BUILD_CORE_H_

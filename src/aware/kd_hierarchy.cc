@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
-#include <cstdint>
-#include <limits>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "aware/kd_build_core.h"
 
 namespace sas {
 
@@ -14,15 +16,18 @@ inline Coord AxisCoord(const Point2D& p, int axis) {
   return axis == 0 ? p.x : p.y;
 }
 
-struct BuildTask {
-  std::int32_t node;
-  std::uint32_t begin, end;
-  std::int32_t depth;
-  std::int32_t parent_axis;  // axis the parent split on; -1 for the root
-};
+// Flat-coords facade: a Point2D array is exactly an interleaved flat coord
+// array (x0, y0, x1, y1, ...), so the dims-parameterized core can walk it
+// without a copy.
+static_assert(std::is_standard_layout_v<Point2D> &&
+                  sizeof(Point2D) == 2 * sizeof(Coord) &&
+                  offsetof(Point2D, x) == 0 &&
+                  offsetof(Point2D, y) == sizeof(Coord),
+              "Point2D must be layout-compatible with Coord[2] for the "
+              "flat-coords facade over KdBuildCore");
 
-static_assert(KdHierarchy::kNull == -1,
-              "KdNodeSoA::Emplace hardcodes -1 as the null child/parent");
+static_assert(KdHierarchy::kNull == kKdNull,
+              "KdHierarchy::kNull must match the core's sentinel");
 
 }  // namespace
 
@@ -39,137 +44,22 @@ KdHierarchy KdHierarchy::Build(const std::vector<Point2D>& pts,
   KdHierarchy tree;
   const std::size_t n = pts.size();
   if (n == 0) return tree;
-  MonotonicArena& arena = scratch->arena;
-  arena.Reset();
 
-  // Per-axis item orders, each sorted once (coordinate, then index so ties
-  // are deterministic); every split keeps both orders sorted by a stable
-  // partition instead of re-sorting the subrange per node.
-  std::uint32_t* ord[2] = {arena.AllocateArray<std::uint32_t>(n),
-                           arena.AllocateArray<std::uint32_t>(n)};
-  std::uint32_t* part_tmp = arena.AllocateArray<std::uint32_t>(n);
-  for (int axis = 0; axis < 2; ++axis) {
-    std::uint32_t* o = ord[axis];
-    for (std::size_t i = 0; i < n; ++i) o[i] = static_cast<std::uint32_t>(i);
-    std::sort(o, o + n, [&](std::uint32_t a, std::uint32_t b) {
-      const Coord ca = AxisCoord(pts[a], axis);
-      const Coord cb = AxisCoord(pts[b], axis);
-      return ca != cb ? ca < cb : a < b;
-    });
-  }
+  const Coord* flat = reinterpret_cast<const Coord*>(pts.data());
+  const KdCoreBuild core = KdBuildCore(flat, /*dims=*/2, mass.data(), n,
+                                       scratch, &tree.item_order_);
 
-  const std::size_t node_cap = 2 * n;  // at most 2n - 1 nodes
-  KdNodeSoA soa;
-  soa.Init(&arena, node_cap);
-  // DFS with left child processed first: outstanding tasks cover disjoint
-  // item ranges, so the stack holds at most n of them.
-  BuildTask* stack = arena.AllocateArray<BuildTask>(n + 1);
-  std::size_t stack_size = 0;
-
-  tree.item_order_.resize(n);
-  std::int32_t num_nodes = 1;
-  soa.Emplace(0, kNull);
-  stack[stack_size++] = {0, 0, static_cast<std::uint32_t>(n), 0, -1};
-  while (stack_size > 0) {
-    const BuildTask t = stack[--stack_size];
-    soa.begin[t.node] = t.begin;
-    soa.end[t.node] = t.end;
-    // Sum the node mass in the order inherited from the parent's split axis
-    // (the root sums input order), matching the classic build's summation
-    // sequence so masses agree bit-for-bit on duplicate-free inputs.
-    double total = 0.0;
-    if (t.parent_axis < 0) {
-      for (std::uint32_t i = t.begin; i < t.end; ++i) total += mass[i];
-    } else {
-      const std::uint32_t* po = ord[t.parent_axis];
-      for (std::uint32_t i = t.begin; i < t.end; ++i) total += mass[po[i]];
-    }
-    soa.mass[t.node] = total;
-    if (t.end - t.begin <= 1) {
-      if (t.end > t.begin) tree.item_order_[t.begin] = ord[0][t.begin];
-      continue;  // leaf
-    }
-
-    // Choose the split axis round-robin; fall back to the other axis when
-    // all coordinates coincide on the preferred one. Weighted median: the
-    // coordinate boundary minimizing |left mass - right mass|; only
-    // boundaries between distinct coordinates are valid split positions.
-    int axis = t.depth % 2;
-    int used_axis = axis;
-    bool split_found = false;
-    std::uint32_t split_pos = t.begin;
-    Coord split_val = 0;
-    for (int attempt = 0; attempt < 2 && !split_found; ++attempt, axis ^= 1) {
-      const std::uint32_t* o = ord[axis];
-      if (AxisCoord(pts[o[t.begin]], axis) ==
-          AxisCoord(pts[o[t.end - 1]], axis)) {
-        continue;  // degenerate on this axis
-      }
-      double run = 0.0;
-      double best_gap = std::numeric_limits<double>::infinity();
-      for (std::uint32_t i = t.begin; i + 1 < t.end; ++i) {
-        run += mass[o[i]];
-        if (AxisCoord(pts[o[i]], axis) == AxisCoord(pts[o[i + 1]], axis)) {
-          continue;  // not a coordinate boundary
-        }
-        const double gap = std::fabs(total - 2.0 * run);
-        if (gap < best_gap) {
-          best_gap = gap;
-          split_pos = i + 1;
-          split_val = AxisCoord(pts[o[i + 1]], axis);
-        }
-      }
-      split_found = split_pos > t.begin;
-      used_axis = axis;
-    }
-    if (!split_found) {
-      // All points identical: keep them together as one leaf.
-      const std::uint32_t* o = ord[(t.depth + 1) % 2];
-      for (std::uint32_t i = t.begin; i < t.end; ++i) {
-        tree.item_order_[i] = o[i];
-      }
-      continue;
-    }
-    // The used axis' order is already partitioned by position; stable-
-    // partition the other axis' order around the split coordinate so both
-    // children again see both orders sorted.
-    std::uint32_t* o2 = ord[used_axis ^ 1];
-    std::uint32_t nl = t.begin, nr = 0;
-    for (std::uint32_t i = t.begin; i < t.end; ++i) {
-      const std::uint32_t item = o2[i];
-      if (AxisCoord(pts[item], used_axis) < split_val) {
-        o2[nl++] = item;
-      } else {
-        part_tmp[nr++] = item;
-      }
-    }
-    assert(nl == split_pos);
-    std::copy(part_tmp, part_tmp + nr, o2 + nl);
-
-    const std::int32_t left = num_nodes++;
-    const std::int32_t right = num_nodes++;
-    soa.Emplace(left, t.node);
-    soa.Emplace(right, t.node);
-    soa.axis[t.node] = used_axis;
-    soa.split[t.node] = split_val;
-    soa.left[t.node] = left;
-    soa.right[t.node] = right;
-    stack[stack_size++] = {right, split_pos, t.end, t.depth + 1, used_axis};
-    stack[stack_size++] = {left, t.begin, split_pos, t.depth + 1, used_axis};
-  }
-
-  assert(static_cast<std::size_t>(num_nodes) < node_cap);
-  tree.nodes_.resize(num_nodes);
-  for (std::int32_t v = 0; v < num_nodes; ++v) {
+  tree.nodes_.resize(core.num_nodes);
+  for (std::int32_t v = 0; v < core.num_nodes; ++v) {
     Node& nd = tree.nodes_[v];
-    nd.parent = soa.parent[v];
-    nd.left = soa.left[v];
-    nd.right = soa.right[v];
-    nd.axis = soa.axis[v];
-    nd.split = soa.split[v];
-    nd.mass = soa.mass[v];
-    nd.begin = soa.begin[v];
-    nd.end = soa.end[v];
+    nd.parent = core.soa.parent[v];
+    nd.left = core.soa.left[v];
+    nd.right = core.soa.right[v];
+    nd.axis = core.soa.axis[v];
+    nd.split = core.soa.split[v];
+    nd.mass = core.soa.mass[v];
+    nd.begin = core.soa.begin[v];
+    nd.end = core.soa.end[v];
   }
   return tree;
 }

@@ -42,13 +42,16 @@ class KdHierarchy {
   /// uniform 1s). Points should be distinct; exact duplicates are kept
   /// together in one leaf.
   ///
-  /// The build sorts each axis once up front and maintains both axis orders
-  /// through stable partitions, so the per-level work is linear (the classic
-  /// per-node re-sort made it O(n log^2 n)). All working memory — axis
-  /// orders, partition buffer, task stack, and the SoA node accumulators —
-  /// comes from the scratch arena; builds against a warm scratch allocate
-  /// only the returned tree. The overload without a scratch uses an
-  /// internal thread-local workspace.
+  /// The build is a thin wrapper over the shared dims-parameterized
+  /// KdBuildCore (aware/kd_build_core.h) with dims = 2, the Point2D array
+  /// routed through its flat-coords facade: each axis is sorted once up
+  /// front and both axis orders are maintained through stable partitions,
+  /// so the per-level work is linear (the classic per-node re-sort made it
+  /// O(n log^2 n)). All working memory — axis orders, partition buffer,
+  /// task stack, and the SoA node accumulators — comes from the scratch
+  /// arena; builds against a warm scratch allocate only the returned tree.
+  /// The overload without a scratch uses an internal thread-local
+  /// workspace.
   static KdHierarchy Build(const std::vector<Point2D>& pts,
                            const std::vector<double>& mass);
   static KdHierarchy Build(const std::vector<Point2D>& pts,

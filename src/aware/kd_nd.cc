@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
 #include <cstdint>
-#include <limits>
+#include <vector>
 
+#include "aware/kd_build_core.h"
 #include "core/ipps.h"
 #include "core/pair_aggregate.h"
 
 namespace sas {
+
+static_assert(KdHierarchyNd::kNull == kKdNull,
+              "KdHierarchyNd::kNull must match the core's sentinel");
 
 bool BoxNContains(const BoxN& box, const Coord* pt) {
   for (std::size_t a = 0; a < box.size(); ++a) {
@@ -35,141 +38,20 @@ KdHierarchyNd KdHierarchyNd::Build(const std::vector<Coord>& coords,
   tree.dims_ = dims;
   const std::size_t n = mass.size();
   if (n == 0) return tree;
-  MonotonicArena& arena = scratch->arena;
-  arena.Reset();
 
-  auto axis_coord = [&](std::uint32_t item, int axis) {
-    return coords[static_cast<std::size_t>(item) * dims + axis];
-  };
+  const KdCoreBuild core = KdBuildCore(coords.data(), dims, mass.data(), n,
+                                       scratch, &tree.item_order_);
 
-  // One item order per axis, each sorted once (coordinate, then index);
-  // splits maintain all d orders with stable partitions — the same
-  // sort-once scheme as the 2-D build, generalized.
-  std::uint32_t** ord = arena.AllocateArray<std::uint32_t*>(dims);
-  for (int axis = 0; axis < dims; ++axis) {
-    ord[axis] = arena.AllocateArray<std::uint32_t>(n);
-    std::uint32_t* o = ord[axis];
-    for (std::size_t i = 0; i < n; ++i) o[i] = static_cast<std::uint32_t>(i);
-    std::sort(o, o + n, [&](std::uint32_t a, std::uint32_t b) {
-      const Coord ca = axis_coord(a, axis);
-      const Coord cb = axis_coord(b, axis);
-      return ca != cb ? ca < cb : a < b;
-    });
-  }
-  std::uint32_t* part_tmp = arena.AllocateArray<std::uint32_t>(n);
-
-  struct Task {
-    std::int32_t node;
-    std::uint32_t begin, end;
-    std::int32_t depth;
-    std::int32_t parent_axis;  // -1 for the root
-  };
-  const std::size_t node_cap = 2 * n;
-  static_assert(kNull == -1,
-                "KdNodeSoA::Emplace hardcodes -1 as the null child");
-  KdNodeSoA soa;
-  soa.Init(&arena, node_cap);
-
-  Task* stack = arena.AllocateArray<Task>(n + 1);
-  std::size_t stack_size = 0;
-  tree.item_order_.resize(n);
-  std::int32_t num_nodes = 1;
-  soa.Emplace(0, kNull);
-  stack[stack_size++] = {0, 0, static_cast<std::uint32_t>(n), 0, -1};
-  while (stack_size > 0) {
-    const Task t = stack[--stack_size];
-    soa.begin[t.node] = t.begin;
-    soa.end[t.node] = t.end;
-    double total = 0.0;
-    if (t.parent_axis < 0) {
-      for (std::uint32_t i = t.begin; i < t.end; ++i) total += mass[i];
-    } else {
-      const std::uint32_t* po = ord[t.parent_axis];
-      for (std::uint32_t i = t.begin; i < t.end; ++i) total += mass[po[i]];
-    }
-    soa.mass[t.node] = total;
-    if (t.end - t.begin <= 1) {
-      if (t.end > t.begin) tree.item_order_[t.begin] = ord[0][t.begin];
-      continue;
-    }
-
-    int axis = t.depth % dims;
-    int used_axis = axis;
-    bool split_found = false;
-    std::uint32_t split_pos = t.begin;
-    Coord split_val = 0;
-    for (int attempt = 0; attempt < dims && !split_found;
-         ++attempt, axis = (axis + 1) % dims) {
-      const std::uint32_t* o = ord[axis];
-      if (axis_coord(o[t.begin], axis) == axis_coord(o[t.end - 1], axis)) {
-        continue;
-      }
-      double run = 0.0;
-      double best_gap = std::numeric_limits<double>::infinity();
-      for (std::uint32_t i = t.begin; i + 1 < t.end; ++i) {
-        run += mass[o[i]];
-        if (axis_coord(o[i], axis) == axis_coord(o[i + 1], axis)) {
-          continue;
-        }
-        const double gap = std::fabs(total - 2.0 * run);
-        if (gap < best_gap) {
-          best_gap = gap;
-          split_pos = i + 1;
-          split_val = axis_coord(o[i + 1], axis);
-        }
-      }
-      split_found = split_pos > t.begin;
-      used_axis = axis;
-    }
-    if (!split_found) {
-      // All points identical: one leaf, emitted in the order of the last
-      // attempted axis (ties are index-ordered, so any axis agrees).
-      const std::uint32_t* o = ord[(t.depth + dims - 1) % dims];
-      for (std::uint32_t i = t.begin; i < t.end; ++i) {
-        tree.item_order_[i] = o[i];
-      }
-      continue;
-    }
-    // Stable-partition every other axis order around the split coordinate.
-    for (int a = 0; a < dims; ++a) {
-      if (a == used_axis) continue;
-      std::uint32_t* o2 = ord[a];
-      std::uint32_t nl = t.begin, nr = 0;
-      for (std::uint32_t i = t.begin; i < t.end; ++i) {
-        const std::uint32_t item = o2[i];
-        if (axis_coord(item, used_axis) < split_val) {
-          o2[nl++] = item;
-        } else {
-          part_tmp[nr++] = item;
-        }
-      }
-      assert(nl == split_pos);
-      std::copy(part_tmp, part_tmp + nr, o2 + nl);
-    }
-
-    const std::int32_t left = num_nodes++;
-    const std::int32_t right = num_nodes++;
-    soa.Emplace(left, t.node);
-    soa.Emplace(right, t.node);
-    soa.axis[t.node] = used_axis;
-    soa.split[t.node] = split_val;
-    soa.left[t.node] = left;
-    soa.right[t.node] = right;
-    stack[stack_size++] = {right, split_pos, t.end, t.depth + 1, used_axis};
-    stack[stack_size++] = {left, t.begin, split_pos, t.depth + 1, used_axis};
-  }
-
-  assert(static_cast<std::size_t>(num_nodes) < node_cap);
-  tree.nodes_.resize(num_nodes);
-  for (std::int32_t v = 0; v < num_nodes; ++v) {
+  tree.nodes_.resize(core.num_nodes);
+  for (std::int32_t v = 0; v < core.num_nodes; ++v) {
     Node& nd = tree.nodes_[v];
-    nd.left = soa.left[v];
-    nd.right = soa.right[v];
-    nd.axis = soa.axis[v];
-    nd.split = soa.split[v];
-    nd.mass = soa.mass[v];
-    nd.begin = soa.begin[v];
-    nd.end = soa.end[v];
+    nd.left = core.soa.left[v];
+    nd.right = core.soa.right[v];
+    nd.axis = core.soa.axis[v];
+    nd.split = core.soa.split[v];
+    nd.mass = core.soa.mass[v];
+    nd.begin = core.soa.begin[v];
+    nd.end = core.soa.end[v];
   }
   return tree;
 }

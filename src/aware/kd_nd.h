@@ -41,10 +41,11 @@ class KdHierarchyNd {
   };
 
   /// Builds over n = coords.size()/dims points with per-point mass,
-  /// splitting axes round-robin at weighted medians. Like
-  /// KdHierarchy::Build, the build sorts each axis once, maintains the d
-  /// axis orders through stable partitions, and draws all working memory
-  /// from the scratch arena; the overload without a scratch uses an
+  /// splitting axes round-robin at weighted medians. A thin wrapper over
+  /// the shared dims-parameterized KdBuildCore (aware/kd_build_core.h) —
+  /// the same build loop as KdHierarchy::Build: each axis sorted once, the
+  /// d axis orders maintained through stable partitions, all working
+  /// memory from the scratch arena. The overload without a scratch uses an
   /// internal thread-local workspace.
   static KdHierarchyNd Build(const std::vector<Coord>& coords, int dims,
                              const std::vector<double>& mass);

@@ -1,0 +1,122 @@
+#include "data/nd_gen.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace sas {
+
+Weight DatasetNd::total_weight() const {
+  Weight total = 0.0;
+  for (Weight w : weights) total += w;
+  return total;
+}
+
+std::vector<WeightedKey> DatasetNd::AsWeightedKeys() const {
+  std::vector<WeightedKey> items(num_points());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i].id = static_cast<KeyId>(i);
+    items[i].weight = weights[i];
+    items[i].pt.x = coords[i * dims];
+    items[i].pt.y = dims > 1 ? coords[i * dims + 1] : 0;
+  }
+  return items;
+}
+
+namespace {
+
+/// One clustered coordinate: descend axis_bits levels, branching right with
+/// the axis/level-specific bias so mass concentrates in a few subtrees at
+/// every prefix level (the same trie-clustering idea as the network
+/// generator's addresses).
+Coord ClusteredCoord(int axis_bits, const std::vector<double>& bias,
+                     Rng* rng) {
+  Coord c = 0;
+  for (int b = 0; b < axis_bits; ++b) {
+    c <<= 1;
+    if (rng->NextDouble() < bias[b]) c |= 1;
+  }
+  return c;
+}
+
+}  // namespace
+
+DatasetNd GenerateNdCloud(const NdCloudConfig& cfg) {
+  if (cfg.dims < 1 || cfg.dims > 16) {
+    throw std::invalid_argument("GenerateNdCloud: dims must be in [1, 16], "
+                                "got " + std::to_string(cfg.dims));
+  }
+  DatasetNd ds;
+  ds.dims = cfg.dims;
+  ds.axis_bits =
+      cfg.axis_bits > 0 ? cfg.axis_bits : std::max(6, 24 / cfg.dims);
+  if (ds.axis_bits > 62) {
+    throw std::invalid_argument("GenerateNdCloud: axis_bits must be <= 62");
+  }
+  // Fail fast when the domain cannot hold num_points distinct points — the
+  // redraw loop below would otherwise spin forever.
+  const int total_bits = ds.axis_bits * cfg.dims;
+  if (total_bits < 63 &&
+      (std::uint64_t{1} << total_bits) < cfg.num_points) {
+    throw std::invalid_argument(
+        "GenerateNdCloud: domain 2^" + std::to_string(total_bits) +
+        " cannot hold " + std::to_string(cfg.num_points) +
+        " distinct points; raise axis_bits or lower num_points");
+  }
+  ds.name = "ndcloud-d" + std::to_string(cfg.dims);
+  Rng rng(cfg.seed);
+
+  // Per-axis, per-level branch biases: each level prefers one side with
+  // strength cluster_bias, the preferred side chosen at random, so the
+  // clusters differ per axis.
+  std::vector<std::vector<double>> bias(cfg.dims);
+  for (auto& axis_bias : bias) {
+    axis_bias.resize(ds.axis_bits);
+    for (auto& p : axis_bias) {
+      p = rng.NextDouble() < 0.5 ? cfg.cluster_bias : 1.0 - cfg.cluster_bias;
+    }
+  }
+
+  std::set<std::vector<Coord>> seen;
+  ds.coords.reserve(cfg.num_points * cfg.dims);
+  ds.weights.reserve(cfg.num_points);
+  std::vector<Coord> pt(cfg.dims);
+  while (seen.size() < cfg.num_points) {
+    for (int a = 0; a < cfg.dims; ++a) {
+      pt[a] = ClusteredCoord(ds.axis_bits, bias[a], &rng);
+    }
+    if (!seen.insert(pt).second) continue;  // duplicate; redraw
+    for (Coord c : pt) ds.coords.push_back(c);
+    ds.weights.push_back(rng.NextPareto(cfg.pareto_alpha));
+  }
+  return ds;
+}
+
+NdQueryBattery UniformVolumeQueriesNd(const DatasetNd& ds, int num_queries,
+                                      double max_frac, Rng* rng) {
+  NdQueryBattery battery;
+  battery.data_total = ds.total_weight();
+  const Coord domain = ds.axis_domain();
+  const Coord max_side = std::max<Coord>(
+      1, static_cast<Coord>(max_frac * static_cast<double>(domain)));
+  battery.queries.reserve(num_queries);
+  for (int q = 0; q < num_queries; ++q) {
+    NdQuery query;
+    query.box.resize(ds.dims);
+    for (int a = 0; a < ds.dims; ++a) {
+      const Coord side = 1 + rng->NextBounded(max_side);
+      const Coord lo = rng->NextBounded(domain - std::min(domain - 1, side));
+      query.box[a] = {lo, std::min(domain, lo + side)};
+    }
+    for (std::size_t i = 0; i < ds.num_points(); ++i) {
+      if (BoxNContains(query.box, ds.point(i))) {
+        query.exact += ds.weights[i];
+      }
+    }
+    battery.queries.push_back(std::move(query));
+  }
+  return battery;
+}
+
+}  // namespace sas

@@ -17,6 +17,7 @@
 #include "api/registry.h"
 #include "api/summary.h"
 #include "data/dataset.h"
+#include "data/nd_gen.h"
 #include "data/query_gen.h"
 #include "eval/metrics.h"
 
@@ -57,6 +58,17 @@ std::vector<BuiltSummary> BuildMethods(const Dataset2D& ds, std::size_t s,
                                        const std::vector<std::string>& methods,
                                        std::uint64_t seed);
 
+/// d-dimensional counterpart of BuildMethods: builds every listed method
+/// over a DatasetNd with structure = StructureSpec::Nd(ds.dims). Methods
+/// that ingest coordinates (the "nd" key's AddCoords) receive all dims
+/// axes; methods without an AddCoords path fall back to the ordinary Add
+/// path over ds.AsWeightedKeys() (id = point index, pt = the first two
+/// axes) — valid for weight-only methods like "obliv", whose estimates are
+/// id-keyed, while 2-D structure methods would see only a projection.
+std::vector<BuiltSummary> BuildMethodsNd(
+    const DatasetNd& ds, std::size_t s,
+    const std::vector<std::string>& methods, std::uint64_t seed);
+
 /// Evaluates one summary over a battery; also reports query time.
 struct BatteryResult {
   std::string method;
@@ -68,6 +80,14 @@ struct BatteryResult {
 
 BatteryResult EvaluateOnBattery(const BuiltSummary& built,
                                 const QueryBattery& battery);
+
+/// Evaluates one summary over a d-dimensional box battery. Queries run as
+/// id-keyed subset estimates against the dataset's coordinates, so the
+/// summary must be sample-backed (AsSample() != nullptr); throws
+/// std::invalid_argument otherwise.
+BatteryResult EvaluateOnBatteryNd(const BuiltSummary& built,
+                                  const NdQueryBattery& battery,
+                                  const DatasetNd& ds);
 
 }  // namespace sas
 

@@ -231,6 +231,59 @@ TEST(RegistryErrors, InvalidConfigThrows) {
   EXPECT_NO_THROW(MakeSummarizer(keys::kProduct, cfg));
 }
 
+TEST(RegistryErrors, MalformedNdConfigsThrow) {
+  // Dimension bounds are validated eagerly at MakeSummarizer time.
+  for (int dims : {-1, 0, 17, 100}) {
+    SummarizerConfig cfg;
+    cfg.structure = StructureSpec::Nd(dims);
+    EXPECT_THROW(MakeSummarizer(keys::kNd, cfg), std::invalid_argument)
+        << "dims=" << dims;
+  }
+  // Every dims inside [1, 16] constructs.
+  for (int dims : {1, 2, 3, 16}) {
+    SummarizerConfig cfg;
+    cfg.structure = StructureSpec::Nd(dims);
+    EXPECT_NO_THROW(MakeSummarizer(keys::kNd, cfg)) << "dims=" << dims;
+  }
+}
+
+TEST(RegistryErrors, NdIngestContractViolationsThrow) {
+  SummarizerConfig cfg;
+  cfg.structure = StructureSpec::Nd(3);
+
+  // AddCoords with a dims that does not match the structure descriptor.
+  {
+    auto builder = MakeSummarizer(keys::kNd, cfg);
+    const Coord pt[4] = {1, 2, 3, 4};
+    EXPECT_THROW(builder->AddCoords(pt, 4, 1.0), std::invalid_argument);
+  }
+  // Add carries only two coordinates; dims > 2 must use AddCoords.
+  {
+    auto builder = MakeSummarizer(keys::kNd, cfg);
+    EXPECT_THROW(builder->Add({0, 1.0, {5, 6}}), std::logic_error);
+  }
+  // Mixing the keyed and coordinate ingest paths is rejected either way.
+  {
+    SummarizerConfig cfg2d;
+    cfg2d.structure = StructureSpec::Nd(2);
+    auto builder = MakeSummarizer(keys::kNd, cfg2d);
+    builder->Add({0, 1.0, {5, 6}});
+    const Coord pt[2] = {1, 2};
+    EXPECT_THROW(builder->AddCoords(pt, 2, 1.0), std::logic_error);
+
+    auto builder2 = MakeSummarizer(keys::kNd, cfg2d);
+    builder2->AddCoords(pt, 2, 1.0);
+    EXPECT_THROW(builder2->Add({0, 1.0, {5, 6}}), std::logic_error);
+  }
+  // Non-nd methods have no coordinate ingest path at all.
+  {
+    SummarizerConfig plain;
+    auto builder = MakeSummarizer(keys::kObliv, plain);
+    const Coord pt[3] = {1, 2, 3};
+    EXPECT_THROW(builder->AddCoords(pt, 3, 1.0), std::logic_error);
+  }
+}
+
 TEST(Registry, ListsAllCanonicalKeys) {
   const auto registered = RegisteredSummarizers();
   for (const char* key :

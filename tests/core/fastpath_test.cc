@@ -10,10 +10,15 @@
 //    repositioning of the source generator on Flush.
 //  * ChainAggregateRange: bit-identical probability vectors, leftover
 //    entries, and post-call rng state.
-//  * Kd builds (2-D and N-d): bit-identical node arrays and item orders on
-//    duplicate-free inputs (duplicate handling is property-checked; the tie
-//    order inside an all-duplicate leaf is index-based where the classic
-//    build inherited std::sort's unspecified tie order).
+//  * Kd builds (2-D and N-d, both thin wrappers over the shared
+//    dims-parameterized KdBuildCore since the unification): bit-identical
+//    node arrays and item orders on duplicate-free inputs (duplicate
+//    handling is property-checked; the tie order inside an all-duplicate
+//    leaf is index-based where the classic build inherited std::sort's
+//    unspecified tie order). These tests double as the proof that the
+//    unified core — including the 2-D path's flat-coords facade over
+//    Point2D — reproduces the pre-unification builds exactly, so the
+//    golden seeds did not need re-recording.
 //  * Aggregation passes of every summarizer family (order / hierarchy /
 //    product / disjoint / nd), run against the reference chain given the
 //    same inputs.

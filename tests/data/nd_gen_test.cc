@@ -1,0 +1,83 @@
+#include "data/nd_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace sas {
+namespace {
+
+TEST(GenerateNdCloud, PointsAreDistinctAndInDomain) {
+  for (int dims : {1, 2, 3, 4}) {
+    NdCloudConfig cfg;
+    cfg.num_points = 2000;
+    cfg.dims = dims;
+    cfg.seed = 7 + dims;
+    const DatasetNd ds = GenerateNdCloud(cfg);
+    ASSERT_EQ(ds.dims, dims);
+    ASSERT_EQ(ds.num_points(), 2000u);
+    ASSERT_EQ(ds.coords.size(), 2000u * dims);
+    ASSERT_EQ(ds.weights.size(), 2000u);
+    const Coord domain = ds.axis_domain();
+    std::set<std::vector<Coord>> seen;
+    for (std::size_t i = 0; i < ds.num_points(); ++i) {
+      std::vector<Coord> pt(ds.point(i), ds.point(i) + dims);
+      for (Coord c : pt) EXPECT_LT(c, domain);
+      EXPECT_TRUE(seen.insert(pt).second) << "duplicate point " << i;
+      EXPECT_GT(ds.weights[i], 0.0);
+    }
+  }
+}
+
+TEST(GenerateNdCloud, DeterministicForFixedSeed) {
+  NdCloudConfig cfg;
+  cfg.num_points = 500;
+  cfg.dims = 3;
+  cfg.seed = 99;
+  const DatasetNd a = GenerateNdCloud(cfg);
+  const DatasetNd b = GenerateNdCloud(cfg);
+  EXPECT_EQ(a.coords, b.coords);
+  EXPECT_EQ(a.weights, b.weights);
+}
+
+TEST(GenerateNdCloud, RejectsImpossibleConfigs) {
+  // Bad dimension counts fail eagerly (no SIGFPE from 24 / 0).
+  for (int dims : {-1, 0, 17}) {
+    NdCloudConfig cfg;
+    cfg.dims = dims;
+    EXPECT_THROW(GenerateNdCloud(cfg), std::invalid_argument)
+        << "dims=" << dims;
+  }
+  // A domain too small for the requested distinct points fails eagerly
+  // instead of spinning forever in the redraw loop.
+  NdCloudConfig tiny;
+  tiny.num_points = 20000;
+  tiny.dims = 1;
+  tiny.axis_bits = 10;  // only 1024 distinct coordinates
+  EXPECT_THROW(GenerateNdCloud(tiny), std::invalid_argument);
+}
+
+TEST(UniformVolumeQueriesNd, ExactAnswersMatchBruteForce) {
+  NdCloudConfig cfg;
+  cfg.num_points = 800;
+  cfg.dims = 3;
+  cfg.seed = 5;
+  const DatasetNd ds = GenerateNdCloud(cfg);
+  Rng rng(11);
+  const NdQueryBattery battery = UniformVolumeQueriesNd(ds, 20, 0.5, &rng);
+  ASSERT_EQ(battery.queries.size(), 20u);
+  EXPECT_DOUBLE_EQ(battery.data_total, ds.total_weight());
+  for (const NdQuery& q : battery.queries) {
+    ASSERT_EQ(q.box.size(), static_cast<std::size_t>(ds.dims));
+    Weight brute = 0.0;
+    for (std::size_t i = 0; i < ds.num_points(); ++i) {
+      if (BoxNContains(q.box, ds.point(i))) brute += ds.weights[i];
+    }
+    EXPECT_DOUBLE_EQ(q.exact, brute);
+  }
+}
+
+}  // namespace
+}  // namespace sas

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown docs.
+
+Usage:
+    check_doc_links.py [FILE...]       # default: README.md docs/*.md
+
+Checks every inline markdown link `[text](target)` whose target is
+relative (no scheme, no leading #): the referenced file must exist,
+resolved against the linking file's directory. Anchors (`path#frag`) are
+checked for the path part only; pure-fragment links and absolute URLs are
+skipped. Exits non-zero listing every dead link.
+"""
+
+import glob
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_file(path):
+    dead = []
+    base = os.path.dirname(path)
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            for target in LINK_RE.findall(line):
+                if "://" in target or target.startswith(("#", "mailto:")):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                if not os.path.exists(os.path.join(base, rel)):
+                    dead.append((path, lineno, target))
+    return dead
+
+
+def main():
+    files = sys.argv[1:]
+    if not files:
+        files = ["README.md"] + sorted(glob.glob("docs/*.md"))
+    missing_inputs = [f for f in files if not os.path.exists(f)]
+    if missing_inputs:
+        print(f"error: input file(s) not found: {missing_inputs}",
+              file=sys.stderr)
+        return 2
+    dead = []
+    for f in files:
+        dead.extend(check_file(f))
+    if dead:
+        print(f"FAIL: {len(dead)} dead relative link(s):", file=sys.stderr)
+        for path, lineno, target in dead:
+            print(f"  {path}:{lineno}: ({target})", file=sys.stderr)
+        return 1
+    print(f"OK: all relative links resolve across {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
