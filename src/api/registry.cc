@@ -129,7 +129,7 @@ bool IsRegisteredSummarizer(const std::string& key) {
     }
   }
   std::lock_guard<std::mutex> lock(RegistryMutex());
-  return Registry().count(key) != 0;
+  return Registry().contains(key);
 }
 
 }  // namespace sas

@@ -32,8 +32,7 @@ constexpr std::uint64_t kPartitionSaltTag = 0x5A5DED5A17E1F00DULL;
 namespace {
 std::size_t IndexWithSalt(KeyId id, std::uint64_t salt,
                           std::uint64_t num_shards) {
-  return static_cast<std::size_t>(
-      Mix64(static_cast<std::uint64_t>(id) ^ salt) % num_shards);
+  return Mix64(static_cast<std::uint64_t>(id) ^ salt) % num_shards;
 }
 }  // namespace
 

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
-#include <type_traits>
 #include <vector>
 
+#include "aware/flat_coords.h"
 #include "aware/kd_build_core.h"
 
 namespace sas {
@@ -15,16 +15,6 @@ namespace {
 inline Coord AxisCoord(const Point2D& p, int axis) {
   return axis == 0 ? p.x : p.y;
 }
-
-// Flat-coords facade: a Point2D array is exactly an interleaved flat coord
-// array (x0, y0, x1, y1, ...), so the dims-parameterized core can walk it
-// without a copy.
-static_assert(std::is_standard_layout_v<Point2D> &&
-                  sizeof(Point2D) == 2 * sizeof(Coord) &&
-                  offsetof(Point2D, x) == 0 &&
-                  offsetof(Point2D, y) == sizeof(Coord),
-              "Point2D must be layout-compatible with Coord[2] for the "
-              "flat-coords facade over KdBuildCore");
 
 static_assert(KdHierarchy::kNull == kKdNull,
               "KdHierarchy::kNull must match the core's sentinel");
@@ -45,7 +35,7 @@ KdHierarchy KdHierarchy::Build(const std::vector<Point2D>& pts,
   const std::size_t n = pts.size();
   if (n == 0) return tree;
 
-  const Coord* flat = reinterpret_cast<const Coord*>(pts.data());
+  const Coord* flat = AsFlatCoords(pts.data());
   const KdCoreBuild core = KdBuildCore(flat, /*dims=*/2, mass.data(), n,
                                        scratch, &tree.item_order_);
 

@@ -367,7 +367,7 @@ Sample TwoPassHierarchySample(const std::vector<WeightedKey>& items,
     // ranges are rank intervals, so Delta < 2 w.h.p. carries over.
     std::vector<WeightedKey> relabeled = items;
     for (auto& it : relabeled) {
-      it.pt.x = static_cast<Coord>(h.rank_of_key(it.id));
+      it.pt.x = h.rank_of_key(it.id);
     }
     return TwoPassOrderSample(relabeled, s, cfg, rng);
   }

@@ -63,6 +63,8 @@ class TwoPassProductSampler {
  private:
   double s_;
   TwoPassConfig cfg_;
+  // sas-lint: allow(unforked-rng): member slot only; every constructor
+  // copies it from the caller-provided generator.
   Rng rng_;
 
   // Pass-1 state (defined in two_pass.cc to keep this header light).

@@ -117,8 +117,12 @@ class RngStream {
   void Refill();
 
   Rng* src_;
-  Rng synced_;  // source state at the stream position of buf_[0]
-  Rng next_;    // synced_ advanced by kBlock draws (valid when filled_ > 0)
+  // source state at the stream position of buf_[0]
+  // sas-lint: allow(unforked-rng): copied from the borrowed Rng at construction
+  Rng synced_;
+  // synced_ advanced by kBlock draws (valid when filled_ > 0)
+  // sas-lint: allow(unforked-rng): derived from synced_ inside Refill
+  Rng next_;
   std::size_t pos_ = 0;
   std::size_t filled_ = 0;
   double buf_[kBlock];

@@ -16,12 +16,12 @@ namespace {
 /// with deterministic jitter so coordinates are not perfectly regular.
 std::vector<Coord> SpreadCoords(std::size_t n, int bits, Rng* rng) {
   const Coord domain = Coord{1} << bits;
-  const Coord stride = domain / static_cast<Coord>(n);
+  const Coord stride = domain / n;
   assert(stride >= 1);
   std::vector<Coord> out(n);
   for (std::size_t r = 0; r < n; ++r) {
     const Coord jitter = stride > 1 ? rng->NextBounded(stride) : 0;
-    out[r] = static_cast<Coord>(r) * stride + jitter;
+    out[r] = r * stride + jitter;
   }
   return out;
 }

@@ -182,7 +182,10 @@ Hierarchy Hierarchy::CompressedBinaryTrie(const std::vector<Coord>& coords,
     // Highest differing bit determines this node's dyadic prefix range and
     // the split point.
     const Coord diff = lo_c ^ hi_c;
-    const int hbit = std::bit_width(diff);  // 1-based index of top set bit
+    // 1-based index of the top set bit (diff != 0 here since lo_c != hi_c);
+    // countl_zero rather than bit_width because the latter's return type
+    // varies across libstdc++ versions (LWG 3656).
+    const int hbit = 64 - std::countl_zero(diff);
     Coord block, base;
     if (hbit >= 64) {
       base = 0;

@@ -9,7 +9,7 @@ namespace sas {
 
 namespace {
 inline std::uint64_t CellId(Coord ix, Coord iy) {
-  return (static_cast<std::uint64_t>(ix) << 32) | iy;
+  return (ix << 32) | iy;
 }
 }  // namespace
 

@@ -23,7 +23,7 @@ double Haar1D::Value(HaarCode code, Coord x) const {
   if (code == 0) {
     return 1.0 / std::sqrt(static_cast<double>(domain()));
   }
-  const int level = std::bit_width(code) - 1;     // j
+  const int level = 63 - std::countl_zero(code);  // j (code != 0 here)
   const Coord k = code - (Coord{1} << level);     // offset within level
   const int span_bits = bits_ - level;            // support = 2^span_bits
   if ((x >> span_bits) != k) return 0.0;
@@ -53,7 +53,7 @@ double Haar1D::Integral(HaarCode code, Coord lo, Coord hi) const {
     return static_cast<double>(hi - lo) /
            std::sqrt(static_cast<double>(domain()));
   }
-  const int level = std::bit_width(code) - 1;
+  const int level = 63 - std::countl_zero(code);
   const Coord k = code - (Coord{1} << level);
   const int span_bits = bits_ - level;
   const Coord a = k << span_bits;
@@ -66,7 +66,7 @@ double Haar1D::Integral(HaarCode code, Coord lo, Coord hi) const {
 
 Interval Haar1D::Support(HaarCode code) const {
   if (code == 0) return {0, domain()};
-  const int level = std::bit_width(code) - 1;
+  const int level = 63 - std::countl_zero(code);
   const Coord k = code - (Coord{1} << level);
   const int span_bits = bits_ - level;
   return {k << span_bits, (k + 1) << span_bits};

@@ -43,8 +43,7 @@ Wavelet2D::Wavelet2D(const std::vector<WeightedKey>& items, std::size_t s,
   all.reserve(acc.size());
   for (const auto& [code, v] : acc) {
     if (v != 0.0) {
-      all.push_back({static_cast<HaarCode>(code >> 32),
-                     static_cast<HaarCode>(code & 0xFFFFFFFFULL), v});
+      all.push_back({code >> 32, code & 0xFFFFFFFFULL, v});
     }
   }
   if (all.size() > s) {

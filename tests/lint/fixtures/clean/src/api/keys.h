@@ -1,0 +1,13 @@
+// Canonical keys of the clean fixture: both are registered (registry.cc)
+// and documented (docs/keys.md), so key-registered/key-documented pass.
+#ifndef FIXTURE_CLEAN_API_KEYS_H_
+#define FIXTURE_CLEAN_API_KEYS_H_
+
+namespace fixture::keys {
+
+inline constexpr const char kAlpha[] = "alpha";
+inline constexpr const char kBeta[] = "beta";
+
+}  // namespace fixture::keys
+
+#endif  // FIXTURE_CLEAN_API_KEYS_H_

@@ -1,0 +1,9 @@
+// Clean-fixture registry: references every canonical key constant.
+#include "api/keys.h"
+
+namespace fixture {
+
+const char* AlphaKey() { return keys::kAlpha; }
+const char* BetaKey() { return keys::kBeta; }
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Clean-fixture deterministic core. Exercises the allow escape: the
+// wall-clock call below is suppressed by a reasoned annotation, and the
+// negative test asserts it does NOT fire.
+#include "core/engine.h"
+
+#include <chrono>
+
+namespace fixture {
+
+std::uint64_t Checksum(const std::vector<std::uint64_t>& values) {
+  std::uint64_t acc = 0;
+  for (std::uint64_t v : values) acc = acc * 31 + v;
+  return acc;
+}
+
+std::int64_t LogStampNs() {
+  // sas-lint: allow(wall-clock): fixture exercises the reasoned escape;
+  // this value feeds a log line, never a sampling decision.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

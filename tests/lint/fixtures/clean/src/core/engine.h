@@ -1,0 +1,15 @@
+// Self-contained fixture header: includes everything it needs, so the
+// header-self-contained rule compiles it in isolation without errors.
+#ifndef FIXTURE_CLEAN_CORE_ENGINE_H_
+#define FIXTURE_CLEAN_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t Checksum(const std::vector<std::uint64_t>& values);
+
+}  // namespace fixture
+
+#endif  // FIXTURE_CLEAN_CORE_ENGINE_H_

@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Stand-in clang-tidy for the run_clang_tidy.py self-tests.
+
+Emits one canned diagnostic (exit 1) against the translation unit it was
+handed, exactly in clang-tidy's output format — or nothing (exit 0) when
+FAKE_TIDY_CLEAN=1, so the driver's new/grandfathered/stale paths can all be
+exercised without a real clang-tidy install.
+"""
+
+import os
+import sys
+
+
+def main():
+    # The TU is the last non-flag argument, as the driver passes it.
+    files = [a for a in sys.argv[1:] if not a.startswith("-")
+             and a != sys.argv[sys.argv.index("-p") + 1]]
+    if os.environ.get("FAKE_TIDY_CLEAN") == "1":
+        return 0
+    for path in files:
+        print(f"{path}:3:7: warning: fixture diagnostic [bugprone-fixture]")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

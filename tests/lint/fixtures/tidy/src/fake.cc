@@ -1,0 +1,4 @@
+// Fixture TU for the run_clang_tidy.py baseline-diff tests; the "fake
+// clang-tidy" emits a canned diagnostic against this file, so its contents
+// never matter.
+int FixtureAnswer() { return 42; }

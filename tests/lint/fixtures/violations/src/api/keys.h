@@ -1,0 +1,13 @@
+// Violation fixture keys: kGamma is neither referenced by the registry
+// implementation (key-registered) nor documented (key-documented).
+#ifndef FIXTURE_VIOLATIONS_API_KEYS_H_
+#define FIXTURE_VIOLATIONS_API_KEYS_H_
+
+namespace fixture::keys {
+
+inline constexpr const char kAlpha[] = "alpha";
+inline constexpr const char kGamma[] = "gamma";
+
+}  // namespace fixture::keys
+
+#endif  // FIXTURE_VIOLATIONS_API_KEYS_H_

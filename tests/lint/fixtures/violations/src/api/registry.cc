@@ -1,0 +1,9 @@
+// Violation-fixture registry: references kAlpha only, leaving kGamma
+// unregistered.
+#include "api/keys.h"
+
+namespace fixture {
+
+const char* AlphaKey() { return keys::kAlpha; }
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Seeded determinism violations, one per line, each asserted by the
+// self-test: raw-rand, wall-clock, unforked-rng, and two malformed allow
+// escapes (missing reason; unknown rule).
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+struct Rng {
+  explicit Rng(unsigned long seed = 0) : state(seed) {}
+  unsigned long state;
+};
+
+int RawRand() { return std::rand(); }
+
+long WallClock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+unsigned long SeedlessRng() {
+  Rng generator;
+  return generator.state;
+}
+
+// sas-lint: allow(raw-rand)
+int AllowWithoutReason() { return 7; }
+
+// sas-lint: allow(bogus-rule): the rule name does not exist
+int AllowUnknownRule() { return 8; }
+
+}  // namespace fixture

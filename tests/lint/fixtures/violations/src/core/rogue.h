@@ -1,0 +1,13 @@
+// Deliberately NOT self-contained: UndeclaredThing has no definition and
+// no include supplies one, so compiling this header in isolation fails and
+// the header-self-contained rule fires.
+#ifndef FIXTURE_VIOLATIONS_CORE_ROGUE_H_
+#define FIXTURE_VIOLATIONS_CORE_ROGUE_H_
+
+namespace fixture {
+
+UndeclaredThing MakeThing();
+
+}  // namespace fixture
+
+#endif  // FIXTURE_VIOLATIONS_CORE_ROGUE_H_

@@ -1,0 +1,11 @@
+// Seeded reinterpret-cast violation: a bare cast outside the audited
+// facade, with no allow annotation.
+#include <cstdint>
+
+namespace fixture {
+
+const std::uint64_t* ViewBits(const double* values) {
+  return reinterpret_cast<const std::uint64_t*>(values);
+}
+
+}  // namespace fixture

@@ -1,22 +1,74 @@
 #!/usr/bin/env python3
-"""Fail on dead relative links in the repo's markdown docs.
+"""Fail on dead relative links and dead anchors in the repo's markdown docs.
 
 Usage:
     check_doc_links.py [FILE...]       # default: README.md docs/*.md
 
 Checks every inline markdown link `[text](target)` whose target is
-relative (no scheme, no leading #): the referenced file must exist,
-resolved against the linking file's directory. Anchors (`path#frag`) are
-checked for the path part only; pure-fragment links and absolute URLs are
-skipped. Exits non-zero listing every dead link.
+relative (no scheme):
+
+  * the referenced file must exist, resolved against the linking file's
+    directory;
+  * when the target carries a fragment (`path#section` or a pure `#section`
+    self-link) and the target is a markdown file, the fragment must resolve
+    to a heading anchor (GitHub slug rules: lowercase, punctuation
+    stripped, spaces to hyphens, `-N` suffixes for duplicates) or an
+    explicit `<a name=...>`/`id=...` anchor in that file.
+
+Absolute URLs and mailto links are skipped. Exits non-zero listing every
+dead link or anchor.
 """
 
 import glob
+import html
 import os
 import re
 import sys
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.+?)\s*#*\s*$")
+EXPLICIT_ANCHOR_RE = re.compile(
+    r"<a\s+[^>]*(?:name|id)\s*=\s*[\"']([^\"']+)[\"']", re.IGNORECASE)
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+_anchor_cache = {}
+
+
+def github_slug(text):
+    """Approximates GitHub's heading-to-anchor slug."""
+    text = re.sub(r"`([^`]*)`", r"\1", text)                # code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)\s]*\)", r"\1", text)  # links -> text
+    text = re.sub(r"[*_~]", "", text)                       # emphasis
+    text = html.unescape(text).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path):
+    """All valid fragment targets of a markdown file (cached)."""
+    path = os.path.normpath(path)
+    if path in _anchor_cache:
+        return _anchor_cache[path]
+    anchors = set()
+    slug_counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                slug = github_slug(m.group(2))
+                n = slug_counts.get(slug, 0)
+                slug_counts[slug] = n + 1
+                anchors.add(slug if n == 0 else f"{slug}-{n}")
+            for explicit in EXPLICIT_ANCHOR_RE.findall(line):
+                anchors.add(explicit)
+    _anchor_cache[path] = anchors
+    return anchors
 
 
 def check_file(path):
@@ -25,13 +77,21 @@ def check_file(path):
     with open(path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
             for target in LINK_RE.findall(line):
-                if "://" in target or target.startswith(("#", "mailto:")):
+                if "://" in target or target.startswith("mailto:"):
                     continue
-                rel = target.split("#", 1)[0]
-                if not rel:
+                rel, _, frag = target.partition("#")
+                resolved = os.path.join(base, rel) if rel else path
+                if rel and not os.path.exists(resolved):
+                    dead.append((path, lineno, target, "missing file"))
                     continue
-                if not os.path.exists(os.path.join(base, rel)):
-                    dead.append((path, lineno, target))
+                if not frag:
+                    continue
+                if not resolved.endswith((".md", ".markdown")):
+                    continue  # anchors into non-markdown are not checkable
+                if frag.lower() not in anchors_of(resolved):
+                    dead.append((path, lineno, target,
+                                 f"no anchor '#{frag}' in "
+                                 f"{os.path.normpath(resolved)}"))
     return dead
 
 
@@ -48,11 +108,12 @@ def main():
     for f in files:
         dead.extend(check_file(f))
     if dead:
-        print(f"FAIL: {len(dead)} dead relative link(s):", file=sys.stderr)
-        for path, lineno, target in dead:
-            print(f"  {path}:{lineno}: ({target})", file=sys.stderr)
+        print(f"FAIL: {len(dead)} dead link(s)/anchor(s):", file=sys.stderr)
+        for path, lineno, target, why in dead:
+            print(f"  {path}:{lineno}: ({target}) — {why}", file=sys.stderr)
         return 1
-    print(f"OK: all relative links resolve across {len(files)} file(s)")
+    print(f"OK: all relative links and anchors resolve across "
+          f"{len(files)} file(s)")
     return 0
 
 

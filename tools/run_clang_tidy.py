@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Parallel clang-tidy driver with baseline-diff semantics.
+
+Runs clang-tidy (configuration: the repo's .clang-tidy) over every src/
+translation unit in a CMake compile database and diffs the diagnostics
+against tools/tidy_baseline.txt:
+
+  * a diagnostic NOT in the baseline is new -> reported, exit 1;
+  * a baseline entry that no longer fires is stale -> reported as a note
+    (run with --update-baseline to drop it);
+  * a clean tree against an empty baseline -> exit 0.
+
+The baseline exists so a check upgrade can land before its last fixes do;
+the goal state — and the current state — is an empty file. Entries are
+"<path>\t<check>\t<message>" with paths relative to the repo root, so the
+file is stable across machines and line-number drift.
+
+Usage:
+    tools/run_clang_tidy.py [--build-dir build] [--jobs N]
+                            [--baseline tools/tidy_baseline.txt]
+                            [--clang-tidy BIN] [--require-tool]
+                            [--update-baseline] [paths...]
+
+Positional paths (relative to the repo root) filter which compile-database
+entries run; the default is every entry under src/. Without clang-tidy on
+PATH (or $CLANG_TIDY) the driver prints a notice and exits 0 — pass
+--require-tool (CI does) to make a missing tool fatal. Exit codes: 0 clean,
+1 new diagnostics, 2 environment/usage error.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# clang-tidy diagnostic header: "path:line:col: warning: message [check]".
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s].*?):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<kind>warning|error): (?P<msg>.*?) \[(?P<check>[^\]]+)\]\s*$")
+
+# Versioned fallbacks searched after plain "clang-tidy" (newest first).
+TIDY_CANDIDATES = ["clang-tidy"] + [
+    f"clang-tidy-{v}" for v in range(21, 13, -1)]
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        path = shutil.which(explicit)
+        return path or (explicit if os.path.isfile(explicit) else None)
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        return shutil.which(env) or (env if os.path.isfile(env) else None)
+    for cand in TIDY_CANDIDATES:
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+def load_compile_db(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        sys.stderr.write(
+            f"error: {db_path} not found; configure with "
+            "`cmake -B build -S .` (CMAKE_EXPORT_COMPILE_COMMANDS is on by "
+            "default in this repo)\n")
+        sys.exit(2)
+    with open(db_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    files = []
+    for entry in entries:
+        directory = entry.get("directory", ".")
+        if not os.path.isabs(directory):
+            directory = os.path.join(os.path.dirname(db_path), directory)
+        path = entry["file"]
+        if not os.path.isabs(path):
+            path = os.path.join(directory, path)
+        files.append(os.path.normpath(path))
+    return sorted(set(files))
+
+
+def select_files(files, path_filters):
+    selected = []
+    for path in files:
+        rel = os.path.relpath(path, REPO_ROOT)
+        if path_filters:
+            if any(rel == flt or rel.startswith(flt.rstrip("/") + "/")
+                   for flt in path_filters):
+                selected.append(path)
+        elif rel.startswith("src" + os.sep):
+            selected.append(path)
+    return selected
+
+
+def run_one(clang_tidy, build_dir, path):
+    """Runs clang-tidy on one TU; returns (path, diagnostics, hard_error)."""
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", path],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    diags = []
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        diag_path = m.group("path")
+        if not os.path.isabs(diag_path):
+            diag_path = os.path.join(build_dir, diag_path)
+        rel = os.path.relpath(os.path.normpath(diag_path), REPO_ROOT)
+        diags.append((rel, int(m.group("line")), m.group("check"),
+                      m.group("msg")))
+    # Diagnostics make clang-tidy exit nonzero too, so a hard error is
+    # "nonzero exit AND nothing parseable" (bad flags, crash, missing DB
+    # entry).
+    hard_error = proc.returncode != 0 and not diags
+    return path, diags, proc.stderr if hard_error else ""
+
+
+def baseline_key(diag):
+    rel, _line, check, msg = diag
+    return (rel.replace(os.sep, "/"), check, msg)
+
+
+def read_baseline(path):
+    entries = set()
+    if not os.path.isfile(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if not line or line.lstrip().startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                sys.stderr.write(
+                    f"error: malformed baseline line (want 3 tab-separated "
+                    f"fields): {line!r}\n")
+                sys.exit(2)
+            entries.add(tuple(parts))
+    return entries
+
+
+def write_baseline(path, keys):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# clang-tidy grandfathered diagnostics "
+                "(tools/run_clang_tidy.py --update-baseline).\n"
+                "# Format: path<TAB>check<TAB>message. Keep this file "
+                "empty: new entries need a PR-review reason.\n")
+        for key in sorted(keys):
+            f.write("\t".join(key) + "\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    ap.add_argument("--baseline",
+                    default=os.path.join(REPO_ROOT, "tools",
+                                         "tidy_baseline.txt"))
+    ap.add_argument("--clang-tidy", default=None,
+                    help="clang-tidy binary (default: $CLANG_TIDY or PATH "
+                         "search)")
+    ap.add_argument("--require-tool", action="store_true",
+                    help="fail (exit 2) when clang-tidy is not available "
+                         "instead of skipping")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline to exactly the current "
+                         "diagnostics")
+    ap.add_argument("paths", nargs="*",
+                    help="repo-relative files/dirs to check (default: src/)")
+    args = ap.parse_args()
+
+    clang_tidy = find_clang_tidy(args.clang_tidy)
+    if clang_tidy is None:
+        msg = ("clang-tidy not found (checked --clang-tidy, $CLANG_TIDY, "
+               f"and PATH candidates {TIDY_CANDIDATES[0]}..-14)")
+        if args.require_tool:
+            sys.stderr.write(f"error: {msg}\n")
+            return 2
+        print(f"SKIPPED: {msg}; install clang-tidy to run this check "
+              "locally (CI runs it with --require-tool)")
+        return 0
+
+    files = select_files(load_compile_db(args.build_dir), args.paths)
+    if not files:
+        sys.stderr.write("error: no matching translation units in the "
+                         "compile database\n")
+        return 2
+
+    all_diags = []
+    hard_errors = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [pool.submit(run_one, clang_tidy, args.build_dir, path)
+                   for path in files]
+        for fut in concurrent.futures.as_completed(futures):
+            path, diags, err = fut.result()
+            all_diags.extend(diags)
+            if err:
+                hard_errors.append((path, err))
+
+    if hard_errors:
+        for path, err in hard_errors:
+            sys.stderr.write(f"error: clang-tidy failed on {path}:\n{err}\n")
+        return 2
+
+    # A header diagnostic repeats once per including TU; dedupe on the
+    # baseline key plus line so multi-line instances of one message survive.
+    seen = set()
+    diags = []
+    for diag in sorted(all_diags):
+        ident = (baseline_key(diag), diag[1])
+        if ident not in seen:
+            seen.add(ident)
+            diags.append(diag)
+
+    baseline = read_baseline(args.baseline)
+    current_keys = {baseline_key(d) for d in diags}
+
+    if args.update_baseline:
+        write_baseline(args.baseline, current_keys)
+        print(f"baseline updated: {len(current_keys)} entr"
+              f"{'y' if len(current_keys) == 1 else 'ies'} -> "
+              f"{args.baseline}")
+        return 0
+
+    new = [d for d in diags if baseline_key(d) not in baseline]
+    stale = baseline - current_keys
+
+    for rel, line, check, msg in new:
+        print(f"{rel}:{line}: [{check}] {msg}")
+    if stale:
+        print(f"note: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} no longer fire(s); "
+              "run with --update-baseline to drop them:")
+        for key in sorted(stale):
+            print("  " + "\t".join(key))
+    if new:
+        print(f"FAIL: {len(new)} clang-tidy diagnostic(s) not in "
+              f"{os.path.relpath(args.baseline, REPO_ROOT)} "
+              f"({len(files)} TU(s) checked)")
+        return 1
+    grandfathered = len(diags) - len(new)
+    print(f"OK: clang-tidy clean over {len(files)} TU(s) "
+          f"({grandfathered} grandfathered, {len(baseline)} baseline "
+          "entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
