@@ -9,15 +9,19 @@
 #include <cstdlib>
 #include <new>
 #include <numeric>
+#include <string_view>
 #include <vector>
 
 #include "api/registry.h"
 #include "aware/kd_hierarchy.h"
 #include "aware/order_summarizer.h"
+#include "aware/product_summarizer.h"
+#include "aware/summarize_scratch.h"
 #include "aware/two_pass.h"
 #include "core/ipps.h"
 #include "core/pair_aggregate.h"
 #include "core/random.h"
+#include "core/simd.h"
 #include "sampling/stream_varopt.h"
 
 // Global allocation counter: every operator new in the process bumps it, so
@@ -51,6 +55,7 @@ void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
 
 namespace sas {
 namespace {
+
 
 std::vector<Weight> ParetoWeights(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);
@@ -142,6 +147,72 @@ void BM_ChainAggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_ChainAggregate)->Arg(1000)->Arg(100000);
 
+void BM_IppsFill(benchmark::State& state) {
+  // The dispatched probability-fill kernel (probs[i] = min{1, w[i]/tau} +
+  // sum) on its own, the inner loop of IppsProbabilities and the StreamTau
+  // rebuild. bytes_per_second counts the streamed read + write.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::vector<Weight> weights = ParetoWeights(n, 21);
+  const double tau = SolveTau(weights, static_cast<double>(n) / 100.0);
+  std::vector<double> probs(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simd::FillIppsProbabilities(weights.data(), n, tau, probs.data()));
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * n * 2 * sizeof(double));
+  state.counters["simd"] =
+      static_cast<double>(static_cast<int>(simd::ActiveLevel()));
+}
+BENCHMARK(BM_IppsFill)->Arg(1000)->Arg(100000);
+
+void BM_KdMedianScan(benchmark::State& state) {
+  // The weighted-median argmin scan that dominates kd node splits: one
+  // pass over the prefix sums with the duplicate-boundary mask.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(22);
+  std::vector<Coord> vals(n);
+  Coord v = 0;
+  for (auto& x : vals) {
+    v += rng.NextBounded(3);
+    x = v;
+  }
+  std::vector<double> prefix(n);
+  double run = 0.0;
+  for (auto& p : prefix) {
+    run += 0.01 + 0.98 * rng.NextDouble();
+    p = run;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simd::MinGapScan(prefix.data(), vals.data(), n, run));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * n *
+                          (sizeof(double) + sizeof(Coord)));
+  state.counters["simd"] =
+      static_cast<double>(static_cast<int>(simd::ActiveLevel()));
+}
+BENCHMARK(BM_KdMedianScan)->Arg(1000)->Arg(100000);
+
+void BM_FillDoubles(benchmark::State& state) {
+  // Block draw generation behind RngStream: xoshiro raw output plus the
+  // dispatched u64 -> [0,1) conversion.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(23);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    rng.FillDoubles(out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * n * sizeof(double));
+  state.counters["simd"] =
+      static_cast<double>(static_cast<int>(simd::ActiveLevel()));
+}
+BENCHMARK(BM_FillDoubles)->Arg(1000)->Arg(100000);
+
 void BM_KdBuild(benchmark::State& state) {
   Rng rng(5);
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -229,6 +300,48 @@ void BM_TwoPassBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_TwoPassBuild);
 
+template <typename SummarizeInto>
+void SummarizerRebuildLoop(benchmark::State& state, SummarizeInto fn) {
+  // Steady-state rebuild through the scratch-backed Into entry points, the
+  // cycle the streaming/windowed engines drive every refresh: persistent
+  // SummarizeScratch + SummarizeOutput, one warm-up build to size the
+  // buffers, then the timed loop must allocate nothing (allocs_per_iter is
+  // the acceptance counter — 0 in steady state).
+  const std::size_t n = 10000;
+  Rng rng(31);
+  std::vector<WeightedKey> items(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items[i] = {static_cast<KeyId>(i), rng.NextPareto(1.2),
+                {rng.NextBounded(1 << 20), rng.NextBounded(1 << 20)}};
+  }
+  const double s = 500.0;
+  Rng draws(32);
+  SummarizeScratch scratch;
+  SummarizeOutput out;
+  fn(items, s, &draws, &scratch, &out);  // warm-up: grows scratch once
+  const std::size_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    fn(items, s, &draws, &scratch, &out);
+    benchmark::DoNotOptimize(out.chosen.data());
+  }
+  const std::size_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(allocs) / static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_OrderRebuild(benchmark::State& state) {
+  SummarizerRebuildLoop(state, OrderSummarizeInto);
+}
+BENCHMARK(BM_OrderRebuild);
+
+void BM_ProductRebuild(benchmark::State& state) {
+  SummarizerRebuildLoop(state, ProductSummarizeInto);
+}
+BENCHMARK(BM_ProductRebuild);
+
 void BM_RegistryMake(benchmark::State& state) {
   // Per-build overhead of the registry factory path (lookup + validation +
   // builder allocation) — the cost every call site pays over calling the
@@ -245,4 +358,20 @@ BENCHMARK(BM_RegistryMake);
 }  // namespace
 }  // namespace sas
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN: single-binary SIMD A/B.
+// SAS_SIMD_LEVEL=scalar pins the dispatcher to the scalar reference before
+// any benchmark runs (SAS_SIMD_LEVEL=avx2 asks for AVX2 and silently keeps
+// the best supported level when unavailable); the default is
+// simd::DetectLevel(), i.e. the fastest level this binary/host has.
+int main(int argc, char** argv) {
+  if (const char* level = std::getenv("SAS_SIMD_LEVEL")) {
+    sas::simd::SetLevel(std::string_view(level) == "scalar"
+                            ? sas::simd::Level::kScalar
+                            : sas::simd::Level::kAvx2);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

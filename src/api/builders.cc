@@ -23,6 +23,7 @@
 #include "aware/kd_nd.h"
 #include "aware/order_summarizer.h"
 #include "aware/product_summarizer.h"
+#include "aware/summarize_scratch.h"
 #include "aware/two_pass.h"
 #include "core/random.h"
 #include "sampling/stream_varopt.h"
@@ -60,6 +61,20 @@ class BufferingSummarizer : public Summarizer {
   std::vector<WeightedKey> items_;
 };
 
+/// Converts an index-based SummarizeOutput into the SampleSummary the
+/// builder returns. The probs vector is moved into the summary (the summary
+/// owns its storage); the scratch and the rest of `out` keep their capacity
+/// for the next Reset cycle.
+std::unique_ptr<SampleSummary> TakeSampleSummary(
+    const char* key, const std::vector<WeightedKey>& items,
+    SummarizeOutput* out) {
+  std::vector<WeightedKey> entries;
+  entries.reserve(out->chosen.size());
+  for (std::uint32_t i : out->chosen) entries.push_back(items[i]);
+  return std::make_unique<SampleSummary>(
+      key, Sample(out->tau, std::move(entries)), std::move(out->probs));
+}
+
 // ---------------------------------------------------------------------------
 // In-memory structure-aware samplers (Sections 3 and 4).
 
@@ -69,10 +84,13 @@ class OrderBuilder : public BufferingSummarizer {
   bool Mergeable() const override { return true; }
   std::unique_ptr<RangeSummary> Finalize() override {
     Rng rng(cfg_.seed);
-    SummarizeResult r = OrderSummarize(items_, cfg_.s, &rng);
-    return std::make_unique<SampleSummary>(keys::kOrder, std::move(r.sample),
-                                           std::move(r.probs));
+    OrderSummarizeInto(items_, cfg_.s, &rng, &scratch_, &out_);
+    return TakeSampleSummary(keys::kOrder, items_, &out_);
   }
+
+ private:
+  SummarizeScratch scratch_;
+  SummarizeOutput out_;
 };
 
 class HierarchyBuilder : public BufferingSummarizer {
@@ -87,10 +105,13 @@ class HierarchyBuilder : public BufferingSummarizer {
                         " items were added");
     }
     Rng rng(cfg_.seed);
-    SummarizeResult r = HierarchySummarize(items_, *h, cfg_.s, &rng);
-    return std::make_unique<SampleSummary>(
-        keys::kHierarchy, std::move(r.sample), std::move(r.probs));
+    HierarchySummarizeInto(items_, *h, cfg_.s, &rng, &scratch_, &out_);
+    return TakeSampleSummary(keys::kHierarchy, items_, &out_);
   }
+
+ private:
+  SummarizeScratch scratch_;
+  SummarizeOutput out_;
 };
 
 class DisjointBuilder : public BufferingSummarizer {
@@ -102,12 +123,15 @@ class DisjointBuilder : public BufferingSummarizer {
                     "range_of must have exactly one entry per added item");
     }
     Rng rng(cfg_.seed);
-    SummarizeResult r =
-        DisjointSummarize(items_, cfg_.structure.range_of,
-                          cfg_.structure.num_ranges, cfg_.s, &rng);
-    return std::make_unique<SampleSummary>(
-        keys::kDisjoint, std::move(r.sample), std::move(r.probs));
+    DisjointSummarizeInto(items_, cfg_.structure.range_of,
+                          cfg_.structure.num_ranges, cfg_.s, &rng, &scratch_,
+                          &out_);
+    return TakeSampleSummary(keys::kDisjoint, items_, &out_);
   }
+
+ private:
+  SummarizeScratch scratch_;
+  SummarizeOutput out_;
 };
 
 class ProductBuilder : public BufferingSummarizer {
@@ -116,11 +140,13 @@ class ProductBuilder : public BufferingSummarizer {
   bool Mergeable() const override { return true; }
   std::unique_ptr<RangeSummary> Finalize() override {
     Rng rng(cfg_.seed);
-    SummarizeResult r = ProductSummarize(items_, cfg_.s, &rng);
-    return std::make_unique<SampleSummary>(keys::kProduct,
-                                           std::move(r.sample),
-                                           std::move(r.probs));
+    ProductSummarizeInto(items_, cfg_.s, &rng, &scratch_, &out_);
+    return TakeSampleSummary(keys::kProduct, items_, &out_);
   }
+
+ private:
+  SummarizeScratch scratch_;
+  SummarizeOutput out_;
 };
 
 /// d-dimensional product sampler. Points enter via AddCoords (any d) or via
@@ -153,13 +179,17 @@ class NdBuilder : public Summarizer {
     for (const WeightedKey& it : items) Add(it);
   }
 
-  /// Mergeable via the Add path only: AddCoords synthesizes ids from the
-  /// insertion index, which a hash partition would collide across shards.
+  /// Mergeable via Add and AddCoordsKeyed, whose ids are caller-stable
+  /// across a partition. Plain AddCoords synthesizes ids from the builder's
+  /// own insertion index, which a hash partition would collide across
+  /// shards — the sharded wrapper therefore assigns global ids itself and
+  /// routes through AddCoordsKeyed.
   bool Mergeable() const override { return true; }
 
   bool Reset(std::uint64_t seed) override {
     coords_.clear();
     weights_.clear();
+    coord_ids_.clear();
     originals_.clear();
     used_coords_ = false;
     cfg_.seed = seed;
@@ -173,7 +203,29 @@ class NdBuilder : public Summarizer {
     if (!originals_.empty()) {
       throw std::logic_error("nd summarizer: do not mix Add and AddCoords");
     }
+    if (!coord_ids_.empty()) {
+      throw std::logic_error(
+          "nd summarizer: do not mix AddCoords and AddCoordsKeyed");
+    }
     used_coords_ = true;
+    coords_.insert(coords_.end(), coords, coords + dims);
+    weights_.push_back(w);
+  }
+
+  void AddCoordsKeyed(KeyId id, const Coord* coords, int dims,
+                      Weight w) override {
+    if (dims != cfg_.structure.dims) {
+      InvalidConfig(keys::kNd, "AddCoords dims does not match structure");
+    }
+    if (!originals_.empty()) {
+      throw std::logic_error("nd summarizer: do not mix Add and AddCoords");
+    }
+    if (coord_ids_.size() != weights_.size()) {
+      throw std::logic_error(
+          "nd summarizer: do not mix AddCoords and AddCoordsKeyed");
+    }
+    used_coords_ = true;
+    coord_ids_.push_back(id);
     coords_.insert(coords_.end(), coords, coords + dims);
     weights_.push_back(w);
   }
@@ -181,32 +233,39 @@ class NdBuilder : public Summarizer {
   std::unique_ptr<RangeSummary> Finalize() override {
     const int dims = cfg_.structure.dims;
     Rng rng(cfg_.seed);
-    ResultNd r = ProductSummarizeNd(coords_, dims, weights_, cfg_.s, &rng);
+    ProductSummarizeNdInto(coords_, dims, weights_, cfg_.s, &rng, &scratch_,
+                           &out_);
     std::vector<WeightedKey> entries;
-    entries.reserve(r.chosen.size());
-    for (std::size_t i : r.chosen) {
+    entries.reserve(out_.chosen.size());
+    for (std::size_t i : out_.chosen) {
       if (i < originals_.size()) {
         entries.push_back(originals_[i]);
       } else {
-        // Synthesized key for AddCoords input: id = insertion index, point
-        // from the first two axes (queries beyond 2-D go through sample()).
+        // Synthesized key for AddCoords input: id = caller-provided (keyed
+        // path) or insertion index, point from the first two axes (queries
+        // beyond 2-D go through sample()).
         WeightedKey k;
-        k.id = static_cast<KeyId>(i);
+        k.id = coord_ids_.empty() ? static_cast<KeyId>(i) : coord_ids_[i];
         k.weight = weights_[i];
-        k.pt.x = coords_[i * dims];
-        k.pt.y = dims > 1 ? coords_[i * dims + 1] : 0;
+        k.pt.x = coords_[i * static_cast<std::size_t>(dims)];
+        k.pt.y = dims > 1 ? coords_[i * static_cast<std::size_t>(dims) + 1]
+                          : 0;
         entries.push_back(k);
       }
     }
     return std::make_unique<SampleSummary>(
-        keys::kNd, Sample(r.tau, std::move(entries)), std::move(r.probs));
+        keys::kNd, Sample(out_.tau, std::move(entries)),
+        std::move(out_.probs));
   }
 
  private:
   std::vector<Coord> coords_;
   std::vector<Weight> weights_;
+  std::vector<KeyId> coord_ids_;        // empty unless fed via AddCoordsKeyed
   std::vector<WeightedKey> originals_;  // empty when fed via AddCoords
   bool used_coords_ = false;
+  SummarizeScratch scratch_;
+  ResultNd out_;
 };
 
 // ---------------------------------------------------------------------------

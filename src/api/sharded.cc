@@ -80,19 +80,42 @@ ShardedKeySpec ParseShardedKey(const std::string& key) {
 
 // ---------------------------------------------------------------------------
 
+/// One hand-off unit: 2-D items plus keyed d-dimensional points (the two
+/// ingest surfaces share the queue so per-shard arrival order is
+/// preserved). Points are flat and aligned: point j occupies
+/// coords[j*dims .. j*dims+dims) with id coord_ids[j] and weight
+/// coord_weights[j].
+struct ShardedSummarizer::Batch {
+  std::vector<WeightedKey> items;
+  std::vector<Coord> coords;
+  std::vector<KeyId> coord_ids;
+  std::vector<Weight> coord_weights;
+  int dims = 0;
+
+  std::size_t size() const { return items.size() + coord_ids.size(); }
+  bool empty() const { return items.empty() && coord_ids.empty(); }
+  void clear() {
+    items.clear();
+    coords.clear();
+    coord_ids.clear();
+    coord_weights.clear();
+    dims = 0;
+  }
+};
+
 struct ShardedSummarizer::Shard {
   std::unique_ptr<Summarizer> inner;
 
   // Producer side: accumulation buffer filled by the caller thread.
-  std::vector<WeightedKey> pending;
+  Batch pending;
 
   // Hand-off queue (guarded by mu). `spare` recycles drained buffers back
   // to the producer so steady-state ingest allocates nothing.
   std::mutex mu;
   std::condition_variable can_push;
   std::condition_variable can_pop;
-  std::deque<std::vector<WeightedKey>> queue;
-  std::vector<std::vector<WeightedKey>> spare;
+  std::deque<Batch> queue;
+  std::vector<Batch> spare;
   bool closed = false;
   std::exception_ptr error;
 
@@ -123,7 +146,7 @@ ShardedSummarizer::ShardedSummarizer(std::string key,
                        "\" is not mergeable (its summary is not a "
                        "partition-tolerant VarOpt sample)");
     }
-    sh->pending.reserve(kBatchSize);
+    sh->pending.items.reserve(kBatchSize);
     shards_.push_back(std::move(sh));
   }
   try {
@@ -151,13 +174,36 @@ void ShardedSummarizer::Add(const WeightedKey& item) {
         "finalized)");
   }
   Shard& sh = ShardOf(item.id);
-  sh.pending.push_back(item);
+  sh.pending.items.push_back(item);
+  if (sh.pending.size() >= kBatchSize) FlushPending(sh);
+}
+
+void ShardedSummarizer::AddCoords(const Coord* coords, int dims, Weight w) {
+  AddCoordsKeyed(next_coord_id_++, coords, dims, w);
+}
+
+void ShardedSummarizer::AddCoordsKeyed(KeyId id, const Coord* coords,
+                                       int dims, Weight w) {
+  if (joined_) {
+    throw std::logic_error(
+        "sharded summarizer: AddCoords after Finalize (builders are spent "
+        "once finalized)");
+  }
+  Shard& sh = ShardOf(id);
+  // The flat coord layout needs one dims per batch; a (pathological) dims
+  // change mid-stream just cuts the current batch short. The inner builder
+  // is the one that validates dims against the structure.
+  if (sh.pending.dims != 0 && sh.pending.dims != dims) FlushPending(sh);
+  sh.pending.dims = dims;
+  sh.pending.coord_ids.push_back(id);
+  sh.pending.coord_weights.push_back(w);
+  sh.pending.coords.insert(sh.pending.coords.end(), coords, coords + dims);
   if (sh.pending.size() >= kBatchSize) FlushPending(sh);
 }
 
 void ShardedSummarizer::FlushPending(Shard& sh) {
   if (sh.pending.empty()) return;
-  std::vector<WeightedKey> next;
+  Batch next;
   {
     std::lock_guard<std::mutex> lock(sh.mu);
     if (!sh.spare.empty()) {
@@ -165,11 +211,11 @@ void ShardedSummarizer::FlushPending(Shard& sh) {
       sh.spare.pop_back();
     }
   }
-  next.reserve(kBatchSize);
+  next.items.reserve(kBatchSize);
   Enqueue(sh, std::exchange(sh.pending, std::move(next)));
 }
 
-void ShardedSummarizer::Enqueue(Shard& sh, std::vector<WeightedKey> batch) {
+void ShardedSummarizer::Enqueue(Shard& sh, Batch batch) {
   std::unique_lock<std::mutex> lock(sh.mu);
   sh.can_push.wait(lock, [&] {
     return sh.queue.size() < kMaxQueueDepth || sh.error != nullptr ||
@@ -185,7 +231,7 @@ void ShardedSummarizer::Enqueue(Shard& sh, std::vector<WeightedKey> batch) {
 void ShardedSummarizer::WorkerLoop(Shard* sh) {
   try {
     for (;;) {
-      std::vector<WeightedKey> batch;
+      Batch batch;
       {
         std::unique_lock<std::mutex> lock(sh->mu);
         sh->can_pop.wait(lock,
@@ -195,7 +241,13 @@ void ShardedSummarizer::WorkerLoop(Shard* sh) {
         sh->queue.pop_front();
         sh->can_push.notify_one();
       }
-      sh->inner->AddBatch(batch);
+      if (!batch.items.empty()) sh->inner->AddBatch(batch.items);
+      const std::size_t ud = static_cast<std::size_t>(batch.dims);
+      for (std::size_t j = 0; j < batch.coord_ids.size(); ++j) {
+        sh->inner->AddCoordsKeyed(batch.coord_ids[j],
+                                  batch.coords.data() + j * ud, batch.dims,
+                                  batch.coord_weights[j]);
+      }
       batch.clear();
       {
         std::lock_guard<std::mutex> lock(sh->mu);

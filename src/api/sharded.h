@@ -84,6 +84,17 @@ class ShardedSummarizer : public Summarizer {
   /// a buffer append; the heavy lifting happens on the workers.
   void Add(const WeightedKey& item) override;
 
+  /// Routes one d-dimensional point. AddCoords assigns the point an id
+  /// from a wrapper-global insertion counter (so ids are unique across
+  /// shards, exactly as an unsharded "nd" builder would number the whole
+  /// stream) and forwards to AddCoordsKeyed, which hash-routes on the id
+  /// like Add and replays into the shard's builder via its AddCoordsKeyed.
+  /// Inner methods without coordinate support throw on the worker thread;
+  /// Finalize rethrows.
+  void AddCoords(const Coord* coords, int dims, Weight w) override;
+  void AddCoordsKeyed(KeyId id, const Coord* coords, int dims,
+                      Weight w) override;
+
   /// Flushes, joins the workers, finalizes every shard, and merges the
   /// shard samples into one of (expected) size cfg.s. Rethrows the first
   /// worker/finalize error.
@@ -97,16 +108,18 @@ class ShardedSummarizer : public Summarizer {
 
  private:
   struct Shard;
+  struct Batch;
 
   Shard& ShardOf(KeyId id);
   void FlushPending(Shard& sh);
-  void Enqueue(Shard& sh, std::vector<WeightedKey> batch);
+  void Enqueue(Shard& sh, Batch batch);
   static void WorkerLoop(Shard* sh);
   void CloseAndJoin();
 
   std::string key_;
   std::uint64_t salt_ = 0;  // partition-hash salt derived from cfg.seed
   std::vector<std::unique_ptr<Shard>> shards_;
+  KeyId next_coord_id_ = 0;  // global ids handed out by AddCoords
   bool joined_ = false;
 };
 

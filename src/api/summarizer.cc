@@ -11,4 +11,9 @@ void Summarizer::AddCoords(const Coord* /*coords*/, int /*dims*/,
       "2-D methods");
 }
 
+void Summarizer::AddCoordsKeyed(KeyId /*id*/, const Coord* coords, int dims,
+                                Weight w) {
+  AddCoords(coords, dims, w);
+}
+
 }  // namespace sas

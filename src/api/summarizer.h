@@ -147,6 +147,15 @@ class Summarizer {
   /// mixing Add/AddCoords on one builder with std::logic_error.
   virtual void AddCoords(const Coord* coords, int dims, Weight w);
 
+  /// Adds one d-dimensional point under a caller-chosen key id. Methods
+  /// that key their samples (the "nd" builder) store the id with the point,
+  /// so ids stay stable when the stream is partitioned across builders —
+  /// this is what lets the sharded wrapper route AddCoords input. The
+  /// default forwards to AddCoords, dropping the id (methods that
+  /// synthesize ids ignore it). Same support/mixing rules as AddCoords.
+  virtual void AddCoordsKeyed(KeyId id, const Coord* coords, int dims,
+                              Weight w);
+
   /// Builds the summary from everything added. Call exactly once; the
   /// builder is spent afterwards (unless recycled via Reset). Input-
   /// dependent config mismatches (hierarchy/range_of counts) throw

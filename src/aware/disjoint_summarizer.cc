@@ -9,52 +9,96 @@ namespace sas {
 
 void DisjointAggregate(std::vector<double>* probs,
                        const std::vector<int>& range_of, int num_ranges,
-                       Rng* rng) {
+                       Rng* rng, SummarizeScratch* scratch) {
   assert(probs->size() == range_of.size());
-  // Bucket the open entries per range.
-  std::vector<std::vector<std::size_t>> buckets(num_ranges);
+  // Bucket the open entries per range by counting sort: the fill below is
+  // stable over ascending i, so bucket r holds exactly the entries the
+  // classic vector<vector> push_back order produced.
+  auto& start = scratch->bucket_start;
+  start.assign(static_cast<std::size_t>(num_ranges) + 1, 0);
   for (std::size_t i = 0; i < probs->size(); ++i) {
     if (!IsSet((*probs)[i])) {
       assert(range_of[i] >= 0 && range_of[i] < num_ranges);
-      buckets[range_of[i]].push_back(i);
+      ++start[static_cast<std::size_t>(range_of[i]) + 1];
     }
   }
+  for (int r = 0; r < num_ranges; ++r) {
+    start[static_cast<std::size_t>(r) + 1] += start[static_cast<std::size_t>(r)];
+  }
+  auto& bucket_items = scratch->bucket_items;
+  bucket_items.resize(start[static_cast<std::size_t>(num_ranges)]);
+  for (std::size_t i = 0; i < probs->size(); ++i) {
+    if (!IsSet((*probs)[i])) {
+      bucket_items[start[static_cast<std::size_t>(range_of[i])]++] = i;
+    }
+  }
+  // After the fill, start[r] is the END offset of bucket r (and bucket r
+  // begins where bucket r-1 ends).
   // Stage 1: aggregate inside each range; stage 2: chain the leftovers.
   // Both stages share one draw stream, repositioned once at the end.
   RngStream draws(rng);
-  std::vector<std::size_t> leftovers;
-  for (const auto& bucket : buckets) {
-    const std::size_t l = ChainAggregateRange(probs->data(), bucket.data(),
-                                              bucket.size(), kNoEntry, &draws);
+  auto& leftovers = scratch->entries;
+  leftovers.clear();
+  std::size_t begin = 0;
+  for (int r = 0; r < num_ranges; ++r) {
+    const std::size_t end = start[static_cast<std::size_t>(r)];
+    const std::size_t l = ChainAggregateRange(
+        probs->data(), bucket_items.data() + begin, end - begin, kNoEntry,
+        &draws);
     if (l != kNoEntry) leftovers.push_back(l);
+    begin = end;
   }
   const std::size_t final_entry = ChainAggregateRange(
       probs->data(), leftovers.data(), leftovers.size(), kNoEntry, &draws);
   ResolveResidual(probs->data(), final_entry, &draws);
 }
 
+void DisjointAggregate(std::vector<double>* probs,
+                       const std::vector<int>& range_of, int num_ranges,
+                       Rng* rng) {
+  thread_local SummarizeScratch scratch;
+  DisjointAggregate(probs, range_of, num_ranges, rng, &scratch);
+}
+
+void DisjointSummarizeInto(const std::vector<WeightedKey>& items,
+                           const std::vector<int>& range_of, int num_ranges,
+                           double s, Rng* rng, SummarizeScratch* scratch,
+                           SummarizeOutput* out) {
+  auto& weights = scratch->weights;
+  weights.clear();
+  weights.reserve(items.size());
+  for (const auto& it : items) weights.push_back(it.weight);
+  const double tau = SolveTau(weights, s, &scratch->ipps);
+
+  out->tau = tau;
+  IppsProbabilities(weights, tau, &out->probs);
+  for (auto& q : out->probs) q = SnapProbability(q);
+
+  auto& work = scratch->work;
+  work.assign(out->probs.begin(), out->probs.end());
+  DisjointAggregate(&work, range_of, num_ranges, rng, scratch);
+
+  out->chosen.clear();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (work[i] == 1.0) out->chosen.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
 SummarizeResult DisjointSummarize(const std::vector<WeightedKey>& items,
                                   const std::vector<int>& range_of,
                                   int num_ranges, double s, Rng* rng) {
-  std::vector<Weight> weights;
-  weights.reserve(items.size());
-  for (const auto& it : items) weights.push_back(it.weight);
-  const double tau = SolveTau(weights, s);
+  thread_local SummarizeScratch scratch;
+  SummarizeOutput out;
+  DisjointSummarizeInto(items, range_of, num_ranges, s, rng, &scratch, &out);
 
-  SummarizeResult out;
-  out.tau = tau;
-  IppsProbabilities(weights, tau, &out.probs);
-  for (auto& q : out.probs) q = SnapProbability(q);
-
-  std::vector<double> work = out.probs;
-  DisjointAggregate(&work, range_of, num_ranges, rng);
-
+  SummarizeResult r;
+  r.tau = out.tau;
+  r.probs = std::move(out.probs);
   std::vector<WeightedKey> chosen;
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (work[i] == 1.0) chosen.push_back(items[i]);
-  }
-  out.sample = Sample(tau, std::move(chosen));
-  return out;
+  chosen.reserve(out.chosen.size());
+  for (std::uint32_t i : out.chosen) chosen.push_back(items[i]);
+  r.sample = Sample(out.tau, std::move(chosen));
+  return r;
 }
 
 }  // namespace sas

@@ -8,13 +8,14 @@
 namespace sas {
 
 void HierarchyAggregate(std::vector<double>* probs, const Hierarchy& h,
-                        Rng* rng) {
+                        Rng* rng, SummarizeScratch* scratch) {
   assert(probs->size() == h.num_keys());
   const int n = h.num_nodes();
   // Builders guarantee parent(v) < v, so a reverse index scan is a valid
   // bottom-up (children before parents) order.
-  std::vector<std::size_t> leftover(n, kNoEntry);
-  std::vector<std::size_t> child_entries;
+  auto& leftover = scratch->leftover;
+  leftover.assign(static_cast<std::size_t>(n), kNoEntry);
+  auto& child_entries = scratch->entries;
   RngStream draws(rng);
   for (int v = n - 1; v >= 0; --v) {
     if (h.is_leaf(v)) {
@@ -32,28 +33,50 @@ void HierarchyAggregate(std::vector<double>* probs, const Hierarchy& h,
   ResolveResidual(probs->data(), leftover[h.root()], &draws);
 }
 
-SummarizeResult HierarchySummarize(const std::vector<WeightedKey>& items,
-                                   const Hierarchy& h, double s, Rng* rng) {
+void HierarchyAggregate(std::vector<double>* probs, const Hierarchy& h,
+                        Rng* rng) {
+  thread_local SummarizeScratch scratch;
+  HierarchyAggregate(probs, h, rng, &scratch);
+}
+
+void HierarchySummarizeInto(const std::vector<WeightedKey>& items,
+                            const Hierarchy& h, double s, Rng* rng,
+                            SummarizeScratch* scratch, SummarizeOutput* out) {
   assert(items.size() == h.num_keys());
-  std::vector<Weight> weights;
+  auto& weights = scratch->weights;
+  weights.clear();
   weights.reserve(items.size());
   for (const auto& it : items) weights.push_back(it.weight);
-  const double tau = SolveTau(weights, s);
+  const double tau = SolveTau(weights, s, &scratch->ipps);
 
-  SummarizeResult out;
-  out.tau = tau;
-  IppsProbabilities(weights, tau, &out.probs);
-  for (auto& q : out.probs) q = SnapProbability(q);
+  out->tau = tau;
+  IppsProbabilities(weights, tau, &out->probs);
+  for (auto& q : out->probs) q = SnapProbability(q);
 
-  std::vector<double> work = out.probs;
-  HierarchyAggregate(&work, h, rng);
+  auto& work = scratch->work;
+  work.assign(out->probs.begin(), out->probs.end());
+  HierarchyAggregate(&work, h, rng, scratch);
 
-  std::vector<WeightedKey> chosen;
+  out->chosen.clear();
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (work[i] == 1.0) chosen.push_back(items[i]);
+    if (work[i] == 1.0) out->chosen.push_back(static_cast<std::uint32_t>(i));
   }
-  out.sample = Sample(tau, std::move(chosen));
-  return out;
+}
+
+SummarizeResult HierarchySummarize(const std::vector<WeightedKey>& items,
+                                   const Hierarchy& h, double s, Rng* rng) {
+  thread_local SummarizeScratch scratch;
+  SummarizeOutput out;
+  HierarchySummarizeInto(items, h, s, rng, &scratch, &out);
+
+  SummarizeResult r;
+  r.tau = out.tau;
+  r.probs = std::move(out.probs);
+  std::vector<WeightedKey> chosen;
+  chosen.reserve(out.chosen.size());
+  for (std::uint32_t i : out.chosen) chosen.push_back(items[i]);
+  r.sample = Sample(out.tau, std::move(chosen));
+  return r;
 }
 
 }  // namespace sas

@@ -21,15 +21,25 @@ namespace sas {
 
 /// Low-level: aggregates open entries of *probs (indexed by key id, one per
 /// hierarchy leaf) following the lowest-LCA rule. On return every entry is
-/// set. Entries already set (0 or 1) are untouched.
+/// set. Entries already set (0 or 1) are untouched. The scratch overload
+/// routes the per-node carries through `scratch` (allocation-free when
+/// warm); the plain overload keeps a thread-local one.
 void HierarchyAggregate(std::vector<double>* probs, const Hierarchy& h,
                         Rng* rng);
+void HierarchyAggregate(std::vector<double>* probs, const Hierarchy& h,
+                        Rng* rng, SummarizeScratch* scratch);
 
 /// Draws a structure-aware VarOpt sample of (expected) size s. items[k]
 /// must be the key at hierarchy leaf leaf_of_key(k); probabilities are IPPS
 /// for the exact offline threshold.
 SummarizeResult HierarchySummarize(const std::vector<WeightedKey>& items,
                                    const Hierarchy& h, double s, Rng* rng);
+
+/// Scratch-backed core of HierarchySummarize (identical draws and sample;
+/// see aware/summarize_scratch.h for the reuse contract).
+void HierarchySummarizeInto(const std::vector<WeightedKey>& items,
+                            const Hierarchy& h, double s, Rng* rng,
+                            SummarizeScratch* scratch, SummarizeOutput* out);
 
 }  // namespace sas
 

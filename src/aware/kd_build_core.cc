@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
-#include <limits>
+
+#include "core/simd.h"
 
 namespace sas {
 
@@ -48,6 +48,11 @@ KdCoreBuild KdBuildCore(const Coord* coords, int dims, const double* mass,
     });
   }
   std::uint32_t* part_tmp = arena.AllocateArray<std::uint32_t>(n);
+  // Median-scan working arrays (one node range at a time): gathered axis
+  // coordinates and the running weighted prefix, consumed by the dispatched
+  // min-gap kernel.
+  double* pref = arena.AllocateArray<double>(n);
+  Coord* vals = arena.AllocateArray<Coord>(n);
 
   const std::size_t node_cap = 2 * n;  // at most 2n - 1 nodes
   KdCoreBuild out;
@@ -97,21 +102,25 @@ KdCoreBuild KdBuildCore(const Coord* coords, int dims, const double* mass,
       if (axis_coord(o[t.begin], axis) == axis_coord(o[t.end - 1], axis)) {
         continue;  // degenerate on this axis
       }
+      // Pass 1 (serial by construction — the prefix sum's addition order is
+      // part of the bit-identity contract): gather the axis coordinates and
+      // accumulate the weighted prefix. Pass 2: the dispatched min-gap scan
+      // picks the first boundary minimizing |left - right| mass, exactly as
+      // the classic fused loop did.
+      const std::uint32_t len = t.end - t.begin;
       double run = 0.0;
-      double best_gap = std::numeric_limits<double>::infinity();
-      for (std::uint32_t i = t.begin; i + 1 < t.end; ++i) {
-        run += mass[o[i]];
-        if (axis_coord(o[i], axis) == axis_coord(o[i + 1], axis)) {
-          continue;  // not a coordinate boundary
-        }
-        const double gap = std::fabs(total - 2.0 * run);
-        if (gap < best_gap) {
-          best_gap = gap;
-          split_pos = i + 1;
-          split_val = axis_coord(o[i + 1], axis);
-        }
+      for (std::uint32_t i = 0; i < len; ++i) {
+        const std::uint32_t item = o[t.begin + i];
+        vals[i] = axis_coord(item, axis);
+        run += mass[item];
+        pref[i] = run;
       }
-      split_found = split_pos > t.begin;
+      const std::size_t pos = simd::MinGapScan(pref, vals, len, total);
+      if (pos != simd::kNoSplit) {
+        split_pos = t.begin + static_cast<std::uint32_t>(pos) + 1;
+        split_val = vals[pos + 1];
+      }
+      split_found = pos != simd::kNoSplit;
       used_axis = axis;
     }
     if (!split_found) {

@@ -30,18 +30,29 @@ KdHierarchy KdHierarchy::Build(const std::vector<Point2D>& pts,
 KdHierarchy KdHierarchy::Build(const std::vector<Point2D>& pts,
                                const std::vector<double>& mass,
                                KdBuildScratch* scratch) {
-  assert(pts.size() == mass.size());
   KdHierarchy tree;
+  BuildInto(pts, mass, scratch, &tree);
+  return tree;
+}
+
+void KdHierarchy::BuildInto(const std::vector<Point2D>& pts,
+                            const std::vector<double>& mass,
+                            KdBuildScratch* scratch, KdHierarchy* out) {
+  assert(pts.size() == mass.size());
   const std::size_t n = pts.size();
-  if (n == 0) return tree;
+  if (n == 0) {
+    out->nodes_.clear();
+    out->item_order_.clear();
+    return;
+  }
 
   const Coord* flat = AsFlatCoords(pts.data());
   const KdCoreBuild core = KdBuildCore(flat, /*dims=*/2, mass.data(), n,
-                                       scratch, &tree.item_order_);
+                                       scratch, &out->item_order_);
 
-  tree.nodes_.resize(core.num_nodes);
+  out->nodes_.resize(static_cast<std::size_t>(core.num_nodes));
   for (std::int32_t v = 0; v < core.num_nodes; ++v) {
-    Node& nd = tree.nodes_[v];
+    Node& nd = out->nodes_[static_cast<std::size_t>(v)];
     nd.parent = core.soa.parent[v];
     nd.left = core.soa.left[v];
     nd.right = core.soa.right[v];
@@ -51,7 +62,6 @@ KdHierarchy KdHierarchy::Build(const std::vector<Point2D>& pts,
     nd.begin = core.soa.begin[v];
     nd.end = core.soa.end[v];
   }
-  return tree;
 }
 
 int KdHierarchy::LocateLeaf(const Point2D& pt) const {

@@ -58,6 +58,13 @@ class KdHierarchy {
                            const std::vector<double>& mass,
                            KdBuildScratch* scratch);
 
+  /// Rebuilds *out in place, reusing its node and item-order storage in
+  /// addition to the scratch arena: a warm (scratch, out) pair makes the
+  /// whole build allocation-free. Produces exactly the tree Build returns.
+  static void BuildInto(const std::vector<Point2D>& pts,
+                        const std::vector<double>& mass,
+                        KdBuildScratch* scratch, KdHierarchy* out);
+
   const std::vector<Node>& nodes() const { return nodes_; }
   int root() const { return nodes_.empty() ? kNull : 0; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "aware/kd_build_core.h"
+#include "aware/summarize_scratch.h"
 #include "core/ipps.h"
 #include "core/pair_aggregate.h"
 
@@ -32,19 +33,30 @@ KdHierarchyNd KdHierarchyNd::Build(const std::vector<Coord>& coords,
                                    int dims,
                                    const std::vector<double>& mass,
                                    KdBuildScratch* scratch) {
-  assert(dims >= 1);
-  assert(coords.size() == mass.size() * dims);
   KdHierarchyNd tree;
-  tree.dims_ = dims;
+  BuildInto(coords, dims, mass, scratch, &tree);
+  return tree;
+}
+
+void KdHierarchyNd::BuildInto(const std::vector<Coord>& coords, int dims,
+                              const std::vector<double>& mass,
+                              KdBuildScratch* scratch, KdHierarchyNd* out) {
+  assert(dims >= 1);
+  assert(coords.size() == mass.size() * static_cast<std::size_t>(dims));
+  out->dims_ = dims;
   const std::size_t n = mass.size();
-  if (n == 0) return tree;
+  if (n == 0) {
+    out->nodes_.clear();
+    out->item_order_.clear();
+    return;
+  }
 
   const KdCoreBuild core = KdBuildCore(coords.data(), dims, mass.data(), n,
-                                       scratch, &tree.item_order_);
+                                       scratch, &out->item_order_);
 
-  tree.nodes_.resize(core.num_nodes);
+  out->nodes_.resize(static_cast<std::size_t>(core.num_nodes));
   for (std::int32_t v = 0; v < core.num_nodes; ++v) {
-    Node& nd = tree.nodes_[v];
+    Node& nd = out->nodes_[static_cast<std::size_t>(v)];
     nd.left = core.soa.left[v];
     nd.right = core.soa.right[v];
     nd.axis = core.soa.axis[v];
@@ -53,48 +65,58 @@ KdHierarchyNd KdHierarchyNd::Build(const std::vector<Coord>& coords,
     nd.begin = core.soa.begin[v];
     nd.end = core.soa.end[v];
   }
-  return tree;
 }
 
-ResultNd ProductSummarizeNd(const std::vector<Coord>& coords, int dims,
+void ProductSummarizeNdInto(const std::vector<Coord>& coords, int dims,
                             const std::vector<Weight>& weights, double s,
-                            Rng* rng) {
-  ResultNd out;
-  out.tau = SolveTau(weights, s);
-  IppsProbabilities(weights, out.tau, &out.probs);
-  for (auto& q : out.probs) q = SnapProbability(q);
+                            Rng* rng, SummarizeScratch* scratch,
+                            ResultNd* out) {
+  out->tau = SolveTau(weights, s, &scratch->ipps);
+  IppsProbabilities(weights, out->tau, &out->probs);
+  for (auto& q : out->probs) q = SnapProbability(q);
 
   // Certain inclusions go straight to the sample; the kd hierarchy is
   // built over the open keys.
-  std::vector<std::size_t> open;
+  out->chosen.clear();
+  auto& open = scratch->open;
+  open.clear();
   for (std::size_t i = 0; i < weights.size(); ++i) {
-    if (out.probs[i] == 1.0) {
-      out.chosen.push_back(i);
-    } else if (!IsSet(out.probs[i])) {
+    if (out->probs[i] == 1.0) {
+      out->chosen.push_back(i);
+    } else if (!IsSet(out->probs[i])) {
       open.push_back(i);
     }
   }
-  std::vector<Coord> sub_coords;
-  std::vector<double> sub_mass;
-  sub_coords.reserve(open.size() * dims);
+  auto& sub_coords = scratch->coords;
+  auto& sub_mass = scratch->mass;
+  sub_coords.clear();
+  sub_mass.clear();
+  sub_coords.reserve(open.size() * static_cast<std::size_t>(dims));
   sub_mass.reserve(open.size());
+  const std::size_t ud = static_cast<std::size_t>(dims);
   for (std::size_t i : open) {
-    for (int a = 0; a < dims; ++a) sub_coords.push_back(coords[i * dims + a]);
-    sub_mass.push_back(out.probs[i]);
+    for (std::size_t a = 0; a < ud; ++a) {
+      sub_coords.push_back(coords[i * ud + a]);
+    }
+    sub_mass.push_back(out->probs[i]);
   }
-  const KdHierarchyNd tree = KdHierarchyNd::Build(sub_coords, dims, sub_mass);
+  KdHierarchyNd::BuildInto(sub_coords, dims, sub_mass, &scratch->kd,
+                           &scratch->tree_nd);
+  const KdHierarchyNd& tree = scratch->tree_nd;
 
   // Bottom-up lowest-LCA aggregation (children follow parents in node
   // order, so a reverse scan is bottom-up). All per-node chains share one
   // draw stream, repositioned once at the end of the pass.
-  std::vector<double> work = sub_mass;
+  auto& work = scratch->work;
+  work.assign(sub_mass.begin(), sub_mass.end());
   const int n = tree.num_nodes();
-  std::vector<std::size_t> leftover(std::max(n, 1), kNoEntry);
-  std::vector<std::size_t> entries;
+  auto& leftover = scratch->leftover;
+  leftover.assign(static_cast<std::size_t>(std::max(n, 1)), kNoEntry);
+  auto& entries = scratch->entries;
   {
     RngStream draws(rng);
     for (int v = n - 1; v >= 0; --v) {
-      const auto& node = tree.nodes()[v];
+      const auto& node = tree.nodes()[static_cast<std::size_t>(v)];
       entries.clear();
       if (node.IsLeaf()) {
         for (std::size_t i = node.begin; i < node.end; ++i) {
@@ -102,21 +124,32 @@ ResultNd ProductSummarizeNd(const std::vector<Coord>& coords, int dims,
           if (!IsSet(work[item])) entries.push_back(item);
         }
       } else {
-        if (leftover[node.left] != kNoEntry) {
-          entries.push_back(leftover[node.left]);
+        if (leftover[static_cast<std::size_t>(node.left)] != kNoEntry) {
+          entries.push_back(leftover[static_cast<std::size_t>(node.left)]);
         }
-        if (leftover[node.right] != kNoEntry) {
-          entries.push_back(leftover[node.right]);
+        if (leftover[static_cast<std::size_t>(node.right)] != kNoEntry) {
+          entries.push_back(leftover[static_cast<std::size_t>(node.right)]);
         }
       }
-      leftover[v] = ChainAggregateRange(work.data(), entries.data(),
-                                        entries.size(), kNoEntry, &draws);
+      leftover[static_cast<std::size_t>(v)] = ChainAggregateRange(
+          work.data(), entries.data(), entries.size(), kNoEntry, &draws);
     }
-    if (n > 0) ResolveResidual(work.data(), leftover[tree.root()], &draws);
+    if (n > 0) {
+      ResolveResidual(work.data(),
+                      leftover[static_cast<std::size_t>(tree.root())], &draws);
+    }
   }
   for (std::size_t j = 0; j < open.size(); ++j) {
-    if (work[j] == 1.0) out.chosen.push_back(open[j]);
+    if (work[j] == 1.0) out->chosen.push_back(open[j]);
   }
+}
+
+ResultNd ProductSummarizeNd(const std::vector<Coord>& coords, int dims,
+                            const std::vector<Weight>& weights, double s,
+                            Rng* rng) {
+  thread_local SummarizeScratch scratch;
+  ResultNd out;
+  ProductSummarizeNdInto(coords, dims, weights, s, rng, &scratch, &out);
   return out;
 }
 

@@ -18,6 +18,8 @@
 
 namespace sas {
 
+struct SummarizeScratch;  // aware/summarize_scratch.h
+
 /// An axis-parallel box in d dimensions: one interval per axis.
 using BoxN = std::vector<Interval>;
 
@@ -53,6 +55,13 @@ class KdHierarchyNd {
                              const std::vector<double>& mass,
                              KdBuildScratch* scratch);
 
+  /// Rebuilds *out in place, reusing its node and item-order storage in
+  /// addition to the scratch arena: a warm (scratch, out) pair makes the
+  /// whole build allocation-free. Produces exactly the tree Build returns.
+  static void BuildInto(const std::vector<Coord>& coords, int dims,
+                        const std::vector<double>& mass,
+                        KdBuildScratch* scratch, KdHierarchyNd* out);
+
   const std::vector<Node>& nodes() const { return nodes_; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   int root() const { return nodes_.empty() ? kNull : 0; }
@@ -78,6 +87,16 @@ struct ResultNd {
 ResultNd ProductSummarizeNd(const std::vector<Coord>& coords, int dims,
                             const std::vector<Weight>& weights, double s,
                             Rng* rng);
+
+/// Scratch-backed core of ProductSummarizeNd: identical draws and result,
+/// but every working vector (and the kd tree itself) lives in `scratch`
+/// and out->probs / out->chosen reuse their capacity, so a warm
+/// (scratch, out) pair summarizes without heap allocation (see
+/// aware/summarize_scratch.h for the reuse contract).
+void ProductSummarizeNdInto(const std::vector<Coord>& coords, int dims,
+                            const std::vector<Weight>& weights, double s,
+                            Rng* rng, SummarizeScratch* scratch,
+                            ResultNd* out);
 
 }  // namespace sas
 

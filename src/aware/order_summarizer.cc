@@ -14,32 +14,49 @@ void OrderAggregate(std::vector<double>* probs,
   ResolveResidual(probs->data(), leftover, &draws);
 }
 
-SummarizeResult OrderSummarize(const std::vector<WeightedKey>& items,
-                               double s, Rng* rng) {
-  std::vector<Weight> weights;
+void OrderSummarizeInto(const std::vector<WeightedKey>& items, double s,
+                        Rng* rng, SummarizeScratch* scratch,
+                        SummarizeOutput* out) {
+  auto& weights = scratch->weights;
+  weights.clear();
   weights.reserve(items.size());
   for (const auto& it : items) weights.push_back(it.weight);
-  const double tau = SolveTau(weights, s);
+  const double tau = SolveTau(weights, s, &scratch->ipps);
 
-  SummarizeResult out;
-  out.tau = tau;
-  IppsProbabilities(weights, tau, &out.probs);
-  for (auto& q : out.probs) q = SnapProbability(q);
+  out->tau = tau;
+  IppsProbabilities(weights, tau, &out->probs);
+  for (auto& q : out->probs) q = SnapProbability(q);
 
-  std::vector<Coord> xs;
+  auto& xs = scratch->xs;
+  xs.clear();
   xs.reserve(items.size());
   for (const auto& it : items) xs.push_back(it.pt.x);
-  const std::vector<std::size_t> order = SortedOrder(xs);
+  SortedOrderInto(xs, &scratch->order);
 
-  std::vector<double> work = out.probs;
-  OrderAggregate(&work, order, rng);
+  auto& work = scratch->work;
+  work.assign(out->probs.begin(), out->probs.end());
+  OrderAggregate(&work, scratch->order, rng);
 
-  std::vector<WeightedKey> chosen;
+  out->chosen.clear();
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (work[i] == 1.0) chosen.push_back(items[i]);
+    if (work[i] == 1.0) out->chosen.push_back(static_cast<std::uint32_t>(i));
   }
-  out.sample = Sample(tau, std::move(chosen));
-  return out;
+}
+
+SummarizeResult OrderSummarize(const std::vector<WeightedKey>& items,
+                               double s, Rng* rng) {
+  thread_local SummarizeScratch scratch;
+  SummarizeOutput out;
+  OrderSummarizeInto(items, s, rng, &scratch, &out);
+
+  SummarizeResult r;
+  r.tau = out.tau;
+  r.probs = std::move(out.probs);
+  std::vector<WeightedKey> chosen;
+  chosen.reserve(out.chosen.size());
+  for (std::uint32_t i : out.chosen) chosen.push_back(items[i]);
+  r.sample = Sample(out.tau, std::move(chosen));
+  return r;
 }
 
 }  // namespace sas

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "aware/summarize_scratch.h"
 #include "core/random.h"
 #include "core/sample.h"
 #include "core/types.h"
@@ -35,6 +36,13 @@ void OrderAggregate(std::vector<double>* probs,
 /// order is the x-coordinate of the items.
 SummarizeResult OrderSummarize(const std::vector<WeightedKey>& items,
                                double s, Rng* rng);
+
+/// Scratch-backed core of OrderSummarize: identical draws and sample, all
+/// working memory from `scratch`, results into the caller-owned `out` —
+/// warm rebuild cycles allocate nothing (see aware/summarize_scratch.h).
+void OrderSummarizeInto(const std::vector<WeightedKey>& items, double s,
+                        Rng* rng, SummarizeScratch* scratch,
+                        SummarizeOutput* out);
 
 }  // namespace sas
 

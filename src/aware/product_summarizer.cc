@@ -8,16 +8,17 @@
 namespace sas {
 
 void KdAggregate(std::vector<double>* probs, const KdHierarchy& tree,
-                 Rng* rng) {
+                 Rng* rng, SummarizeScratch* scratch) {
   const int n = tree.num_nodes();
   if (n == 0) return;
   // Children are created after their parent, so a reverse scan is
   // bottom-up.
-  std::vector<std::size_t> leftover(n, kNoEntry);
-  std::vector<std::size_t> entries;
+  auto& leftover = scratch->leftover;
+  leftover.assign(static_cast<std::size_t>(n), kNoEntry);
+  auto& entries = scratch->entries;
   RngStream draws(rng);
   for (int v = n - 1; v >= 0; --v) {
-    const auto& node = tree.nodes()[v];
+    const auto& node = tree.nodes()[static_cast<std::size_t>(v)];
     entries.clear();
     if (node.IsLeaf()) {
       for (std::size_t i = node.begin; i < node.end; ++i) {
@@ -25,60 +26,90 @@ void KdAggregate(std::vector<double>* probs, const KdHierarchy& tree,
         if (!IsSet((*probs)[item])) entries.push_back(item);
       }
     } else {
-      if (leftover[node.left] != kNoEntry) {
-        entries.push_back(leftover[node.left]);
+      if (leftover[static_cast<std::size_t>(node.left)] != kNoEntry) {
+        entries.push_back(leftover[static_cast<std::size_t>(node.left)]);
       }
-      if (leftover[node.right] != kNoEntry) {
-        entries.push_back(leftover[node.right]);
+      if (leftover[static_cast<std::size_t>(node.right)] != kNoEntry) {
+        entries.push_back(leftover[static_cast<std::size_t>(node.right)]);
       }
     }
-    leftover[v] = ChainAggregateRange(probs->data(), entries.data(),
-                                      entries.size(), kNoEntry, &draws);
+    leftover[static_cast<std::size_t>(v)] = ChainAggregateRange(
+        probs->data(), entries.data(), entries.size(), kNoEntry, &draws);
   }
-  ResolveResidual(probs->data(), leftover[tree.root()], &draws);
+  ResolveResidual(probs->data(),
+                  leftover[static_cast<std::size_t>(tree.root())], &draws);
 }
 
-SummarizeResult ProductSummarize(const std::vector<WeightedKey>& items,
-                                 double s, Rng* rng) {
-  std::vector<Weight> weights;
+void KdAggregate(std::vector<double>* probs, const KdHierarchy& tree,
+                 Rng* rng) {
+  thread_local SummarizeScratch scratch;
+  KdAggregate(probs, tree, rng, &scratch);
+}
+
+void ProductSummarizeInto(const std::vector<WeightedKey>& items, double s,
+                          Rng* rng, SummarizeScratch* scratch,
+                          SummarizeOutput* out) {
+  auto& weights = scratch->weights;
+  weights.clear();
   weights.reserve(items.size());
   for (const auto& it : items) weights.push_back(it.weight);
-  const double tau = SolveTau(weights, s);
+  const double tau = SolveTau(weights, s, &scratch->ipps);
 
-  SummarizeResult out;
-  out.tau = tau;
-  IppsProbabilities(weights, tau, &out.probs);
-  for (auto& q : out.probs) q = SnapProbability(q);
+  out->tau = tau;
+  IppsProbabilities(weights, tau, &out->probs);
+  for (auto& q : out->probs) q = SnapProbability(q);
 
   // Keys with p == 1 are always in the sample; the kd-tree is built over
   // the open keys only, with their probabilities as mass.
-  std::vector<std::size_t> open;
+  auto& open = scratch->open;
+  open.clear();
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (!IsSet(out.probs[i])) open.push_back(i);
+    if (!IsSet(out->probs[i])) open.push_back(i);
   }
-  std::vector<Point2D> pts;
-  std::vector<double> mass;
+  auto& pts = scratch->pts;
+  auto& mass = scratch->mass;
+  pts.clear();
+  mass.clear();
   pts.reserve(open.size());
   mass.reserve(open.size());
   for (std::size_t i : open) {
     pts.push_back(items[i].pt);
-    mass.push_back(out.probs[i]);
+    mass.push_back(out->probs[i]);
   }
-  const KdHierarchy tree = KdHierarchy::Build(pts, mass);
+  KdHierarchy::BuildInto(pts, mass, &scratch->kd, &scratch->tree);
 
   // Aggregate over local (open-subset) indices, then map back.
-  std::vector<double> work_local = mass;
-  KdAggregate(&work_local, tree, rng);
+  auto& work = scratch->work;
+  work.assign(mass.begin(), mass.end());
+  KdAggregate(&work, scratch->tree, rng, scratch);
 
-  std::vector<WeightedKey> chosen;
+  out->chosen.clear();
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (out.probs[i] == 1.0) chosen.push_back(items[i]);
+    if (out->probs[i] == 1.0) {
+      out->chosen.push_back(static_cast<std::uint32_t>(i));
+    }
   }
   for (std::size_t j = 0; j < open.size(); ++j) {
-    if (work_local[j] == 1.0) chosen.push_back(items[open[j]]);
+    if (work[j] == 1.0) {
+      out->chosen.push_back(static_cast<std::uint32_t>(open[j]));
+    }
   }
-  out.sample = Sample(tau, std::move(chosen));
-  return out;
+}
+
+SummarizeResult ProductSummarize(const std::vector<WeightedKey>& items,
+                                 double s, Rng* rng) {
+  thread_local SummarizeScratch scratch;
+  SummarizeOutput out;
+  ProductSummarizeInto(items, s, rng, &scratch, &out);
+
+  SummarizeResult r;
+  r.tau = out.tau;
+  r.probs = std::move(out.probs);
+  std::vector<WeightedKey> chosen;
+  chosen.reserve(out.chosen.size());
+  for (std::uint32_t i : out.chosen) chosen.push_back(items[i]);
+  r.sample = Sample(out.tau, std::move(chosen));
+  return r;
 }
 
 }  // namespace sas

@@ -21,14 +21,27 @@ namespace sas {
 
 /// Low-level: aggregates the open entries of *probs (indexed like the build
 /// items of `tree`) bottom-up along the kd-tree. On return all entries are
-/// set.
+/// set. The scratch overload routes the per-node carries through `scratch`
+/// (allocation-free when warm); the plain overload keeps a thread-local
+/// one.
 void KdAggregate(std::vector<double>* probs, const KdHierarchy& tree,
                  Rng* rng);
+void KdAggregate(std::vector<double>* probs, const KdHierarchy& tree,
+                 Rng* rng, SummarizeScratch* scratch);
 
 /// Draws a structure-aware VarOpt sample of (expected) size s over the 2-D
 /// points of `items`.
 SummarizeResult ProductSummarize(const std::vector<WeightedKey>& items,
                                  double s, Rng* rng);
+
+/// Scratch-backed core of ProductSummarize (identical draws and sample;
+/// see aware/summarize_scratch.h for the reuse contract). out->chosen
+/// lists the certain inclusions (p == 1) in ascending index order first,
+/// then the aggregation picks in open-subset order, matching the sample
+/// order of ProductSummarize.
+void ProductSummarizeInto(const std::vector<WeightedKey>& items, double s,
+                          Rng* rng, SummarizeScratch* scratch,
+                          SummarizeOutput* out);
 
 }  // namespace sas
 

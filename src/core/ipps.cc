@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/simd.h"
+
 namespace sas {
 
 namespace {
@@ -74,8 +76,7 @@ double SolveTau(const Weight* weights, std::size_t n_in, double s,
     const std::size_t mid = lo + (hi - lo) / 2;
     std::nth_element(buf.begin() + lo, buf.begin() + mid, buf.begin() + hi,
                      std::greater<>());
-    double rest = right_sum;
-    for (std::size_t i = hi; i-- > mid;) rest += buf[i];
+    const double rest = simd::SuffixSum(buf.data(), mid, hi, right_sum);
     const double denom = s - static_cast<double>(mid);
     // t* <= floor(s) always, so a non-positive denominator means "go left".
     if (denom <= 0.0 || buf[mid] < rest / denom) {
@@ -117,12 +118,18 @@ double SolveTau(const std::vector<Weight>& weights, double s) {
 double IppsProbabilities(const std::vector<Weight>& weights, double tau,
                          std::vector<double>* probs) {
   probs->resize(weights.size());
-  double sum = 0.0;
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    (*probs)[i] = IppsProbability(weights[i], tau);
-    sum += (*probs)[i];
+  if (tau <= 0.0) {
+    // Degenerate threshold ("include everything"): keep the branchy
+    // per-element edge handling of IppsProbability.
+    double sum = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      (*probs)[i] = IppsProbability(weights[i], tau);
+      sum += (*probs)[i];
+    }
+    return sum;
   }
-  return sum;
+  return simd::FillIppsProbabilities(weights.data(), weights.size(), tau,
+                                     probs->data());
 }
 
 StreamTau::StreamTau(double s) : s_(s) { assert(s > 0.0); }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/simd.h"
+
 namespace sas {
 
 std::uint64_t SplitMix64(std::uint64_t* state) {
@@ -45,8 +47,17 @@ double Rng::NextDouble() {
 }
 
 void Rng::FillDoubles(double* out, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] = static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  // The state recurrence is inherently serial; the unit-interval mapping is
+  // not. Batch the raw outputs through the dispatched conversion kernel,
+  // which is bit-identical to the per-draw cast on every SIMD level.
+  constexpr std::size_t kChunk = 256;
+  std::uint64_t raw[kChunk];
+  while (n > 0) {
+    const std::size_t m = n < kChunk ? n : kChunk;
+    for (std::size_t i = 0; i < m; ++i) raw[i] = Next();
+    simd::U64ToUnitDoubles(raw, out, m);
+    out += m;
+    n -= m;
   }
 }
 

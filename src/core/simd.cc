@@ -1,0 +1,315 @@
+#include "core/simd.h"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+
+// The AVX2 paths exist only when the build opts in (SAS_SIMD, see
+// CMakeLists.txt) and the toolchain/arch can express them. Everything else
+// compiles the scalar reference only.
+#if defined(SAS_SIMD_ENABLED) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SAS_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace sas {
+namespace simd {
+
+namespace {
+
+// -------------------------------------------------------------------------
+// Scalar reference kernels. These are verbatim the loops the callers used
+// before the facade existed; the golden-seed suite pins their outputs, so
+// they must never change behavior.
+
+double FillIppsProbabilitiesScalar(const double* w, std::size_t n, double tau,
+                                   double* probs) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = w[i] / tau;
+    probs[i] = p >= 1.0 ? 1.0 : p;
+    sum += probs[i];
+  }
+  return sum;
+}
+
+double SuffixSumScalar(const double* buf, std::size_t begin, std::size_t end,
+                       double init) {
+  double acc = init;
+  for (std::size_t i = end; i-- > begin;) acc += buf[i];
+  return acc;
+}
+
+std::size_t MinGapScanScalar(const double* prefix, const Coord* vals,
+                             std::size_t len, double total) {
+  std::size_t best = kNoSplit;
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < len; ++i) {
+    if (vals[i] == vals[i + 1]) continue;  // not a coordinate boundary
+    const double gap = std::fabs(total - 2.0 * prefix[i]);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void U64ToUnitDoublesScalar(const std::uint64_t* raw, double* out,
+                            std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(raw[i] >> 11) * 0x1.0p-53;
+  }
+}
+
+// -------------------------------------------------------------------------
+// AVX2/FMA kernels. Per-lane arithmetic mirrors the scalar ops exactly
+// (division, min, abs, and the fused total - 2*prefix, whose 2*prefix term
+// is a power-of-two scale and hence exact); only reductions re-associate.
+
+#if defined(SAS_SIMD_X86)
+
+__attribute__((target("avx2,fma"))) inline __m256d MarksteinQuotient(
+    __m256d vw, __m256d vy, __m256d vtau) {
+  const __m256d q0 = _mm256_mul_pd(vw, vy);
+  const __m256d r = _mm256_fnmadd_pd(q0, vtau, vw);
+  return _mm256_fmadd_pd(r, vy, q0);
+}
+
+__attribute__((target("avx2,fma"))) double FillIppsProbabilitiesAvx2(
+    const double* w, std::size_t n, double* probs, double tau) {
+  // Division via Markstein's sequence instead of vdivpd: with the
+  // correctly rounded reciprocal y = RN(1/tau), q0 = RN(w*y),
+  // r = w - q0*tau (exact by FMA), the corrected q = RN(q0 + r*y) is the
+  // correctly rounded quotient w/tau for every normal quotient
+  // (round-to-nearest), so the stored probabilities stay bit-identical to
+  // the scalar `w[i] / tau` while the loop runs at FMA throughput rather
+  // than the divider's. Degenerate inputs degrade identically: a quotient
+  // that overflows turns q into +-inf/NaN, and the min below (NaN in the
+  // first operand selects the second) clamps it to the same 1.0 the
+  // overflowed scalar divide produces. Denormal quotients could double-
+  // round, but tau <= sum(w) in every caller (SolveTau), so w/tau >=
+  // w/sum(w) never underflows for representable weights.
+  const __m256d vy = _mm256_set1_pd(1.0 / tau);
+  const __m256d vtau = _mm256_set1_pd(tau);
+  const __m256d ones = _mm256_set1_pd(1.0);
+  // Two independent streams hide the correction latency and split the sum
+  // accumulation chain (the sum contract is near-equality, not
+  // bit-identity, so lane/stream re-association is allowed).
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d p0 = _mm256_min_pd(
+        MarksteinQuotient(_mm256_loadu_pd(w + i), vy, vtau), ones);
+    const __m256d p1 = _mm256_min_pd(
+        MarksteinQuotient(_mm256_loadu_pd(w + i + 4), vy, vtau), ones);
+    _mm256_storeu_pd(probs + i, p0);
+    _mm256_storeu_pd(probs + i + 4, p1);
+    acc0 = _mm256_add_pd(acc0, p0);
+    acc1 = _mm256_add_pd(acc1, p1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d p = _mm256_min_pd(
+        MarksteinQuotient(_mm256_loadu_pd(w + i), vy, vtau), ones);
+    _mm256_storeu_pd(probs + i, p);
+    acc0 = _mm256_add_pd(acc0, p);
+  }
+  const __m256d acc = _mm256_add_pd(acc0, acc1);
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  double sum = _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  for (; i < n; ++i) {
+    const double p = w[i] / tau;
+    probs[i] = p >= 1.0 ? 1.0 : p;
+    sum += probs[i];
+  }
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) double SuffixSumAvx2(const double* buf,
+                                                         std::size_t begin,
+                                                         std::size_t end,
+                                                         double init) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(buf + i));
+  }
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  double sum =
+      init + _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  for (; i < end; ++i) sum += buf[i];
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) std::size_t MinGapScanAvx2(
+    const double* prefix, const Coord* vals, std::size_t len, double total) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::size_t best = kNoSplit;
+  double best_gap = inf;
+  std::size_t i = 0;
+  if (len >= 1 && len - 1 >= 4) {
+    const std::size_t bound = len - 1;
+    const __m256d vtotal = _mm256_set1_pd(total);
+    const __m256d vtwo = _mm256_set1_pd(2.0);
+    const __m256d vinf = _mm256_set1_pd(inf);
+    const __m256d sign_mask = _mm256_set1_pd(-0.0);
+    __m256d vbest_gap = _mm256_set1_pd(inf);
+    __m256i vbest_idx = _mm256_setzero_si256();
+    __m256i vidx = _mm256_setr_epi64x(0, 1, 2, 3);
+    const __m256i four = _mm256_set1_epi64x(4);
+    for (; i + 4 <= bound; i += 4) {
+      // gap = |total - 2*prefix[i]|; 2*prefix is exact, so the fused
+      // negate-multiply-add rounds once, like the scalar subtraction.
+      __m256d gap = _mm256_andnot_pd(
+          sign_mask,
+          _mm256_fnmadd_pd(vtwo, _mm256_loadu_pd(prefix + i), vtotal));
+      // Positions where vals[i] == vals[i+1] are not boundaries: mask to
+      // +inf so they can never win the strict-less min.
+      const __m256i eq = _mm256_cmpeq_epi64(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + i)),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + i + 1)));
+      gap = _mm256_blendv_pd(gap, vinf, _mm256_castsi256_pd(eq));
+      // Strict-less update keeps the earliest index per lane, matching the
+      // scalar first-minimum-wins rule.
+      const __m256d lt = _mm256_cmp_pd(gap, vbest_gap, _CMP_LT_OQ);
+      vbest_gap = _mm256_blendv_pd(vbest_gap, gap, lt);
+      vbest_idx = _mm256_blendv_epi8(vbest_idx, vidx, _mm256_castpd_si256(lt));
+      vidx = _mm256_add_epi64(vidx, four);
+    }
+    alignas(32) double lane_gap[4];
+    alignas(32) std::int64_t lane_idx[4];
+    _mm256_store_pd(lane_gap, vbest_gap);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane_idx), vbest_idx);
+    for (int lane = 0; lane < 4; ++lane) {
+      if (lane_gap[lane] < best_gap ||
+          (lane_gap[lane] == best_gap && best != kNoSplit &&
+           static_cast<std::size_t>(lane_idx[lane]) < best)) {
+        best_gap = lane_gap[lane];
+        best = static_cast<std::size_t>(lane_idx[lane]);
+      }
+    }
+    if (best_gap == inf) best = kNoSplit;  // no boundary in the vector part
+  }
+  for (; i + 1 < len; ++i) {
+    if (vals[i] == vals[i + 1]) continue;
+    const double gap = std::fabs(total - 2.0 * prefix[i]);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = i;
+    }
+  }
+  return best;
+}
+
+__attribute__((target("avx2,fma"))) void U64ToUnitDoublesAvx2(
+    const std::uint64_t* raw, double* out, std::size_t n) {
+  // k = raw >> 11 has 53 bits, too wide for the single 2^52 magic-number
+  // convert — split into hi21 * 2^32 + lo32, both exactly convertible, and
+  // recombine with one FMA (every step exact because k itself fits a
+  // double, so the result is bit-identical to the scalar cast).
+  const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  const __m256i magic = _mm256_set1_epi64x(0x4330000000000000LL);  // 2^52
+  const __m256d two52 = _mm256_set1_pd(0x1.0p52);
+  const __m256d two32 = _mm256_set1_pd(0x1.0p32);
+  const __m256d scale = _mm256_set1_pd(0x1.0p-53);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i k = _mm256_srli_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(raw + i)), 11);
+    const __m256d lo = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(_mm256_and_si256(k, mask32),
+                                            magic)),
+        two52);
+    const __m256d hi = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(_mm256_srli_epi64(k, 32), magic)),
+        two52);
+    const __m256d value = _mm256_fmadd_pd(hi, two32, lo);
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(value, scale));
+  }
+  for (; i < n; ++i) {
+    out[i] = static_cast<double>(raw[i] >> 11) * 0x1.0p-53;
+  }
+}
+
+#endif  // SAS_SIMD_X86
+
+std::atomic<int> g_level{-1};
+
+}  // namespace
+
+Level DetectLevel() {
+#if defined(SAS_SIMD_X86)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Level::kAvx2;
+  }
+#endif
+  return Level::kScalar;
+}
+
+Level ActiveLevel() {
+  int lv = g_level.load(std::memory_order_relaxed);
+  if (lv < 0) {
+    lv = static_cast<int>(DetectLevel());
+    g_level.store(lv, std::memory_order_relaxed);
+  }
+  return static_cast<Level>(lv);
+}
+
+bool SetLevel(Level level) {
+  if (static_cast<int>(level) > static_cast<int>(DetectLevel())) return false;
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  return true;
+}
+
+const char* LevelName(Level level) {
+  return level == Level::kAvx2 ? "avx2" : "scalar";
+}
+
+double FillIppsProbabilities(const double* w, std::size_t n, double tau,
+                             double* probs) {
+#if defined(SAS_SIMD_X86)
+  if (ActiveLevel() == Level::kAvx2) {
+    return FillIppsProbabilitiesAvx2(w, n, probs, tau);
+  }
+#endif
+  return FillIppsProbabilitiesScalar(w, n, tau, probs);
+}
+
+double SuffixSum(const double* buf, std::size_t begin, std::size_t end,
+                 double init) {
+#if defined(SAS_SIMD_X86)
+  if (ActiveLevel() == Level::kAvx2) {
+    return SuffixSumAvx2(buf, begin, end, init);
+  }
+#endif
+  return SuffixSumScalar(buf, begin, end, init);
+}
+
+std::size_t MinGapScan(const double* prefix, const Coord* vals,
+                       std::size_t len, double total) {
+#if defined(SAS_SIMD_X86)
+  if (ActiveLevel() == Level::kAvx2) {
+    return MinGapScanAvx2(prefix, vals, len, total);
+  }
+#endif
+  return MinGapScanScalar(prefix, vals, len, total);
+}
+
+void U64ToUnitDoubles(const std::uint64_t* raw, double* out, std::size_t n) {
+#if defined(SAS_SIMD_X86)
+  if (ActiveLevel() == Level::kAvx2) {
+    U64ToUnitDoublesAvx2(raw, out, n);
+    return;
+  }
+#endif
+  U64ToUnitDoublesScalar(raw, out, n);
+}
+
+}  // namespace simd
+}  // namespace sas

@@ -1,0 +1,100 @@
+// Runtime-dispatched SIMD kernels for the build-engine hot paths.
+//
+// This header is the only sanctioned boundary between the library and raw
+// vector intrinsics: every kernel below has a scalar implementation that IS
+// the reference semantics (bit-identical to the classic loops it replaced,
+// pinned by the golden-seed suite) and, when the build and the host allow
+// it, an AVX2/FMA implementation selected at runtime.
+//
+// Dispatch contract:
+//  * Compile time: the CMake option SAS_SIMD (default ON) gates whether the
+//    AVX2 paths are compiled at all; with SAS_SIMD=OFF only the scalar
+//    code exists and ActiveLevel() is always kScalar.
+//  * Run time: the first kernel call probes the CPU (cpuid via
+//    __builtin_cpu_supports) and caches the best supported level. A binary
+//    built with SAS_SIMD=ON still runs correctly on a non-AVX2 host — it
+//    just stays on the scalar path.
+//  * Equivalence: kernels whose outputs are pure per-lane operations
+//    (FillIppsProbabilities elements, U64ToUnitDoubles, MinGapScan) return
+//    bit-identical results on every level. Kernels that reduce over floats
+//    (the probability *sum*, SuffixSum) may differ from the scalar path in
+//    the last few ulps because vector lanes re-associate the additions; the
+//    documented bound is |simd - scalar| <= 4 * eps * n * max|term| and the
+//    equivalence tests in tests/core/simd_test.cc pin a 1e-12 relative
+//    tolerance. The scalar results never change: they are the golden-seed
+//    reference.
+//
+// Adding a kernel: declare it here, implement <Name>Scalar in simd.cc (this
+// becomes the reference — copy the loop you are replacing verbatim), add an
+// AVX2 variant guarded by SAS_SIMD_X86 with target("avx2,fma"), route both
+// through a switch on ActiveLevel(), and pin scalar-vs-AVX2 equivalence in
+// tests/core/simd_test.cc. Raw intrinsics anywhere else in src/ are
+// rejected by sas-lint (rule simd-intrinsics).
+
+#ifndef SAS_CORE_SIMD_H_
+#define SAS_CORE_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace sas {
+namespace simd {
+
+/// Instruction-set tiers the dispatcher knows about.
+enum class Level {
+  kScalar = 0,
+  kAvx2 = 1,  // AVX2 + FMA
+};
+
+/// Best level supported by this binary on this host (compile-time gate and
+/// cpuid probe combined). Does not consult overrides.
+Level DetectLevel();
+
+/// The level kernels currently dispatch to. Defaults to DetectLevel();
+/// cached after the first call.
+Level ActiveLevel();
+
+/// Overrides the dispatch level (tests and A/B benches). Returns false —
+/// and changes nothing — if `level` is not supported by this binary/host.
+bool SetLevel(Level level);
+
+/// Human-readable level name ("scalar" / "avx2").
+const char* LevelName(Level level);
+
+/// IPPS probability fill: probs[i] = min{1, w[i]/tau} for tau > 0 (the
+/// IppsProbability edge cases for tau <= 0 are handled by the caller).
+/// Returns the sum of the probabilities. Elements are bit-identical on
+/// every level; the returned sum is a float reduction (see header
+/// contract).
+double FillIppsProbabilities(const double* w, std::size_t n, double tau,
+                             double* probs);
+
+/// The SolveTau partition scan: init + buf[end-1] + buf[end-2] + ... +
+/// buf[begin], accumulated in exactly that (reverse) order on the scalar
+/// path. Float reduction: AVX2 re-associates.
+double SuffixSum(const double* buf, std::size_t begin, std::size_t end,
+                 double init);
+
+/// Weighted-median split selection for the kd build: over boundaries
+/// i in [0, len-1) with vals[i] != vals[i+1], minimizes
+/// |total - 2*prefix[i]| and returns the first minimizing i (strict-less
+/// update order, matching the classic scan). Returns kNoSplit when no
+/// boundary exists. Bit-identical on every level: the gap values are pure
+/// per-lane arithmetic on the caller-computed prefix sums, and the argmin
+/// tie-break is exact.
+inline constexpr std::size_t kNoSplit = static_cast<std::size_t>(-1);
+std::size_t MinGapScan(const double* prefix, const Coord* vals,
+                       std::size_t len, double total);
+
+/// Block conversion behind Rng::FillDoubles: out[i] =
+/// double(raw[i] >> 11) * 2^-53, the xoshiro256++ unit-interval mapping.
+/// Bit-identical on every level (the shifted value fits 53 bits, so the
+/// convert and the power-of-two scale are both exact).
+void U64ToUnitDoubles(const std::uint64_t* raw, double* out, std::size_t n);
+
+}  // namespace simd
+}  // namespace sas
+
+#endif  // SAS_CORE_SIMD_H_

@@ -47,6 +47,7 @@
 #include "core/ipps.h"
 #include "core/pair_aggregate.h"
 #include "core/random.h"
+#include "core/simd.h"
 #include "structure/hierarchy.h"
 
 namespace sas {
@@ -460,6 +461,55 @@ TEST(RngStream, DirectRngUseBetweenFlushAndNextDrawIsNotReplayed) {
   stream.Flush();
   EXPECT_EQ(expect, got);
   ExpectSameRngState(direct, streamed);
+}
+
+TEST(RngStream, BlockBoundariesMatchUnderEveryDispatchLevel) {
+  // RngStream refills in kBlock chunks through Rng::FillDoubles, which now
+  // dispatches to the SIMD block converter. The draw-order transparency
+  // contract — i-th stream draw == i-th NextDouble, Flush repositions the
+  // source — must hold bit-for-bit on every level, especially at counts
+  // that straddle block boundaries (partial first block, exact block,
+  // block + 1, several blocks).
+  const simd::Level saved = simd::ActiveLevel();
+  for (simd::Level level : {simd::Level::kScalar, simd::DetectLevel()}) {
+    ASSERT_TRUE(simd::SetLevel(level));
+    for (std::size_t draws :
+         {std::size_t{1}, RngStream::kBlock - 1, RngStream::kBlock,
+          RngStream::kBlock + 1, 3 * RngStream::kBlock,
+          3 * RngStream::kBlock + 5}) {
+      Rng direct(4242);
+      Rng streamed(4242);
+      std::vector<double> expect(draws), got(draws);
+      for (auto& u : expect) u = direct.NextDouble();
+      {
+        RngStream stream(&streamed);
+        for (auto& u : got) u = stream.NextDouble();
+      }
+      ASSERT_EQ(expect, got)
+          << "draws=" << draws << " level=" << simd::LevelName(level);
+      ExpectSameRngState(direct, streamed);
+    }
+  }
+  simd::SetLevel(saved);
+}
+
+TEST(RngStream, ForkedGeneratorsFillIdenticallyToTheirDrawLoops) {
+  // Shard-style usage: per-stream children from Fork feed RngStreams; the
+  // forked generators must stay draw-for-draw equal to their own
+  // NextDouble loops (block fills do not perturb fork derivation).
+  Rng master(31);
+  for (std::uint64_t stream : {0ULL, 1ULL, 7ULL}) {
+    Rng a = master.Fork(stream);
+    Rng b = master.Fork(stream);
+    std::vector<double> expect(300), got(300);
+    for (auto& u : expect) u = a.NextDouble();
+    {
+      RngStream s(&b);
+      for (auto& u : got) u = s.NextDouble();
+    }
+    ASSERT_EQ(expect, got) << "stream=" << stream;
+    ExpectSameRngState(a, b);
+  }
 }
 
 TEST(RngStream, ReusableAfterFlush) {

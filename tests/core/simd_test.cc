@@ -1,0 +1,339 @@
+// Scalar-vs-AVX2 equivalence suite for the dispatched kernels in
+// core/simd.h, pinning the contracts the header documents:
+//
+//  * per-lane kernels (FillIppsProbabilities elements, MinGapScan,
+//    U64ToUnitDoubles, Rng::FillDoubles) are bit-identical on every level;
+//  * float reductions (the FillIppsProbabilities *sum*, SuffixSum) agree
+//    within a 1e-12 relative tolerance, with the scalar result fixed as the
+//    golden-seed reference;
+//  * the dispatch override (SetLevel) honors DetectLevel as a ceiling.
+//
+// With SAS_SIMD=OFF — or on a host without AVX2 — DetectLevel() is kScalar
+// and the cross-level comparisons degenerate to scalar-vs-scalar, which
+// keeps the suite runnable (and the scalar contracts still checked) on
+// every build configuration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/random.h"
+#include "core/simd.h"
+#include "core/types.h"
+
+namespace sas {
+namespace {
+
+/// Restores the dispatch level on scope exit so one test's override cannot
+/// leak into another (or into other suites in this binary).
+class LevelGuard {
+ public:
+  LevelGuard() : saved_(simd::ActiveLevel()) {}
+  ~LevelGuard() { simd::SetLevel(saved_); }
+
+ private:
+  simd::Level saved_;
+};
+
+std::vector<double> ParetoWeights(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> w(n);
+  for (auto& x : w) x = rng.NextPareto(1.15);
+  return w;
+}
+
+// The sizes below straddle the AVX2 width (4 doubles) and the FillDoubles
+// block size (RngStream::kBlock = 256) so remainders of every phase run.
+const std::size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 15, 63,
+                              255, 256, 257, 1000, 4096};
+
+// --- Dispatch plumbing -----------------------------------------------------
+
+TEST(SimdDispatch, ActiveDefaultsToDetectAndOverrideIsCapped) {
+  LevelGuard guard;
+  const simd::Level best = simd::DetectLevel();
+  EXPECT_EQ(simd::ActiveLevel(), best);
+
+  // Scalar is always accepted.
+  EXPECT_TRUE(simd::SetLevel(simd::Level::kScalar));
+  EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+
+  if (best == simd::Level::kAvx2) {
+    EXPECT_TRUE(simd::SetLevel(simd::Level::kAvx2));
+    EXPECT_EQ(simd::ActiveLevel(), simd::Level::kAvx2);
+  } else {
+    // Requesting an unsupported level fails and changes nothing.
+    EXPECT_FALSE(simd::SetLevel(simd::Level::kAvx2));
+    EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  }
+}
+
+TEST(SimdDispatch, LevelNames) {
+  EXPECT_STREQ(simd::LevelName(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::LevelName(simd::Level::kAvx2), "avx2");
+}
+
+// --- FillIppsProbabilities -------------------------------------------------
+
+TEST(SimdFillIppsProbabilities, ScalarMatchesClassicLoop) {
+  LevelGuard guard;
+  ASSERT_TRUE(simd::SetLevel(simd::Level::kScalar));
+  for (std::size_t n : kSizes) {
+    const std::vector<double> w = ParetoWeights(n, 100 + n);
+    const double tau = 2.5;
+    std::vector<double> probs(n, -1.0);
+    const double sum = simd::FillIppsProbabilities(w.data(), n, tau,
+                                                   probs.data());
+    double want_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double want = std::min(1.0, w[i] / tau);
+      ASSERT_EQ(probs[i], want) << "n=" << n << " i=" << i;
+      want_sum += want;
+    }
+    ASSERT_EQ(sum, want_sum) << "n=" << n;
+  }
+}
+
+TEST(SimdFillIppsProbabilities, ElementsBitIdenticalAcrossLevels) {
+  LevelGuard guard;
+  for (std::size_t n : kSizes) {
+    const std::vector<double> w = ParetoWeights(n, 200 + n);
+    for (double tau : {0.3, 1.0, 17.25}) {
+      ASSERT_TRUE(simd::SetLevel(simd::Level::kScalar));
+      std::vector<double> scalar(n, -1.0);
+      const double scalar_sum =
+          simd::FillIppsProbabilities(w.data(), n, tau, scalar.data());
+
+      simd::SetLevel(simd::DetectLevel());
+      std::vector<double> best(n, -1.0);
+      const double best_sum =
+          simd::FillIppsProbabilities(w.data(), n, tau, best.data());
+
+      ASSERT_EQ(scalar, best) << "n=" << n << " tau=" << tau;
+      ASSERT_NEAR(best_sum, scalar_sum,
+                  1e-12 * (1.0 + std::fabs(scalar_sum)))
+          << "n=" << n << " tau=" << tau;
+    }
+  }
+}
+
+TEST(SimdFillIppsProbabilities, QuotientsExactOverWideDynamicRange) {
+  // The AVX2 path computes w/tau via Markstein's corrected-reciprocal
+  // sequence; this stresses its bit-identity against the hardware divide
+  // across many magnitude combinations (quotients from ~1e-250 to ~1e250,
+  // all normal), not just the Pareto weights the other tests use.
+  if (simd::DetectLevel() == simd::Level::kScalar) {
+    GTEST_SKIP() << "no vector level available in this build/host";
+  }
+  LevelGuard guard;
+  Rng rng(271828);
+  const std::size_t n = 4096;
+  std::vector<double> w(n), scalar(n), best(n);
+  for (int trial = 0; trial < 50; ++trial) {
+    for (auto& x : w) {
+      const int mag = static_cast<int>(rng.NextBounded(500)) - 250;
+      x = (1.0 + rng.NextDouble()) * std::pow(10.0, mag);
+    }
+    const int tau_mag = static_cast<int>(rng.NextBounded(200)) - 100;
+    const double tau = (1.0 + rng.NextDouble()) * std::pow(10.0, tau_mag);
+    ASSERT_TRUE(simd::SetLevel(simd::Level::kScalar));
+    simd::FillIppsProbabilities(w.data(), n, tau, scalar.data());
+    ASSERT_TRUE(simd::SetLevel(simd::Level::kAvx2));
+    simd::FillIppsProbabilities(w.data(), n, tau, best.data());
+    ASSERT_EQ(scalar, best) << "trial=" << trial << " tau=" << tau;
+  }
+}
+
+// --- SuffixSum -------------------------------------------------------------
+
+TEST(SimdSuffixSum, ScalarMatchesReverseAccumulate) {
+  LevelGuard guard;
+  ASSERT_TRUE(simd::SetLevel(simd::Level::kScalar));
+  const std::vector<double> buf = ParetoWeights(1000, 7);
+  Rng rng(8);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t begin = rng.NextBounded(buf.size());
+    const std::size_t end = begin + rng.NextBounded(buf.size() - begin + 1);
+    const double init = rng.NextDouble();
+    double want = init;
+    for (std::size_t i = end; i-- > begin;) want += buf[i];
+    ASSERT_EQ(simd::SuffixSum(buf.data(), begin, end, init), want)
+        << "begin=" << begin << " end=" << end;
+  }
+}
+
+TEST(SimdSuffixSum, LevelsAgreeWithinReductionTolerance) {
+  LevelGuard guard;
+  const std::vector<double> buf = ParetoWeights(4096, 21);
+  for (std::size_t n : kSizes) {
+    if (n > buf.size()) continue;
+    ASSERT_TRUE(simd::SetLevel(simd::Level::kScalar));
+    const double scalar = simd::SuffixSum(buf.data(), 0, n, 0.5);
+    simd::SetLevel(simd::DetectLevel());
+    const double best = simd::SuffixSum(buf.data(), 0, n, 0.5);
+    ASSERT_NEAR(best, scalar, 1e-12 * (1.0 + std::fabs(scalar)))
+        << "n=" << n;
+  }
+}
+
+// --- MinGapScan ------------------------------------------------------------
+
+// Reference argmin scan, copied from the classic weighted-median loop: the
+// first strictly-smaller gap wins; boundaries inside a duplicate run are
+// not eligible.
+std::size_t RefMinGapScan(const std::vector<double>& prefix,
+                          const std::vector<Coord>& vals, double total) {
+  std::size_t best = simd::kNoSplit;
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < vals.size(); ++i) {
+    if (vals[i] == vals[i + 1]) continue;
+    const double gap = std::fabs(total - 2.0 * prefix[i]);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(SimdMinGapScan, BitIdenticalToReferenceOnEveryLevel) {
+  LevelGuard guard;
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t len = 1 + rng.NextBounded(600);
+    std::vector<Coord> vals(len);
+    Coord v = rng.NextBounded(5);
+    for (auto& x : vals) {
+      // Sorted values with duplicate runs (real kd inputs are sorted).
+      v += rng.NextBounded(3);  // step 0 creates duplicates
+      x = v;
+    }
+    std::vector<double> prefix(len);
+    double run = 0.0;
+    for (std::size_t i = 0; i < len; ++i) {
+      run += 0.01 + 0.98 * rng.NextDouble();
+      prefix[i] = run;
+    }
+    const double total = run;
+    const std::size_t want = RefMinGapScan(prefix, vals, total);
+    for (simd::Level level : {simd::Level::kScalar, simd::DetectLevel()}) {
+      ASSERT_TRUE(simd::SetLevel(level));
+      ASSERT_EQ(simd::MinGapScan(prefix.data(), vals.data(), len, total),
+                want)
+          << "trial=" << trial << " level=" << simd::LevelName(level);
+    }
+  }
+}
+
+TEST(SimdMinGapScan, AllDuplicatesYieldNoSplit) {
+  LevelGuard guard;
+  for (std::size_t len : {1u, 2u, 5u, 64u, 257u}) {
+    std::vector<Coord> vals(len, 42);
+    std::vector<double> prefix(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      prefix[i] = static_cast<double>(i + 1);
+    }
+    for (simd::Level level : {simd::Level::kScalar, simd::DetectLevel()}) {
+      ASSERT_TRUE(simd::SetLevel(level));
+      EXPECT_EQ(simd::MinGapScan(prefix.data(), vals.data(), len,
+                                 static_cast<double>(len)),
+                simd::kNoSplit)
+          << "len=" << len << " level=" << simd::LevelName(level);
+    }
+  }
+}
+
+TEST(SimdMinGapScan, ExactGapTiesKeepTheFirstBoundary) {
+  LevelGuard guard;
+  // Symmetric masses make |total - 2*prefix| tie exactly at two
+  // boundaries; the strict-less update keeps the first.
+  const std::vector<Coord> vals = {0, 1, 2, 3};
+  const std::vector<double> prefix = {1.0, 2.0, 3.0, 4.0};
+  const double total = 4.0;  // gaps: |4-2|=2, |4-4|=0, |4-6|=2
+  for (simd::Level level : {simd::Level::kScalar, simd::DetectLevel()}) {
+    ASSERT_TRUE(simd::SetLevel(level));
+    EXPECT_EQ(simd::MinGapScan(prefix.data(), vals.data(), vals.size(),
+                               total),
+              1u)
+        << simd::LevelName(level);
+  }
+  // Make boundary 1 ineligible via a duplicate run: the tie winner must
+  // move to the first remaining minimum (boundary 0 and 2 tie at 2.0).
+  const std::vector<Coord> dup_vals = {0, 1, 1, 3};
+  for (simd::Level level : {simd::Level::kScalar, simd::DetectLevel()}) {
+    ASSERT_TRUE(simd::SetLevel(level));
+    EXPECT_EQ(simd::MinGapScan(prefix.data(), dup_vals.data(),
+                               dup_vals.size(), total),
+              0u)
+        << simd::LevelName(level);
+  }
+}
+
+// --- U64ToUnitDoubles ------------------------------------------------------
+
+TEST(SimdU64ToUnitDoubles, BitIdenticalAcrossLevelsAndToTheMapping) {
+  LevelGuard guard;
+  Rng rng(3131);
+  for (std::size_t n : kSizes) {
+    std::vector<std::uint64_t> raw(n);
+    for (auto& x : raw) x = rng.Next();
+    // Seed the extremes through the front lanes.
+    if (n > 0) raw[0] = 0;
+    if (n > 1) raw[1] = ~std::uint64_t{0};
+
+    ASSERT_TRUE(simd::SetLevel(simd::Level::kScalar));
+    std::vector<double> scalar(n, -1.0);
+    simd::U64ToUnitDoubles(raw.data(), scalar.data(), n);
+
+    simd::SetLevel(simd::DetectLevel());
+    std::vector<double> best(n, -1.0);
+    simd::U64ToUnitDoubles(raw.data(), best.data(), n);
+
+    ASSERT_EQ(scalar, best) << "n=" << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double want =
+          static_cast<double>(raw[i] >> 11) * 0x1.0p-53;
+      ASSERT_EQ(scalar[i], want) << "n=" << n << " i=" << i;
+      ASSERT_GE(scalar[i], 0.0);
+      ASSERT_LT(scalar[i], 1.0);
+    }
+  }
+}
+
+// --- Rng::FillDoubles through the dispatcher -------------------------------
+
+TEST(SimdFillDoubles, BitIdenticalAcrossLevelsAndToNextDouble) {
+  LevelGuard guard;
+  for (std::size_t n : kSizes) {
+    Rng loop_rng(500 + n);
+    std::vector<double> loop(n);
+    for (auto& u : loop) u = loop_rng.NextDouble();
+
+    ASSERT_TRUE(simd::SetLevel(simd::Level::kScalar));
+    Rng scalar_rng(500 + n);
+    std::vector<double> scalar(n);
+    scalar_rng.FillDoubles(scalar.data(), n);
+
+    simd::SetLevel(simd::DetectLevel());
+    Rng best_rng(500 + n);
+    std::vector<double> best(n);
+    best_rng.FillDoubles(best.data(), n);
+
+    ASSERT_EQ(loop, scalar) << "n=" << n;
+    ASSERT_EQ(scalar, best) << "n=" << n;
+    // The generators must land in the same state as the draw loop.
+    for (int i = 0; i < 4; ++i) {
+      const std::uint64_t want = loop_rng.Next();
+      ASSERT_EQ(scalar_rng.Next(), want);
+      ASSERT_EQ(best_rng.Next(), want);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sas

@@ -19,4 +19,10 @@ std::int64_t LogStampNs() {
   return std::chrono::steady_clock::now().time_since_epoch().count();
 }
 
+void SpinPause() {
+  // sas-lint: allow(simd-intrinsics): fixture exercises the reasoned
+  // escape for the intrinsics rule; a spin-wait hint is not vector math.
+  _mm_pause();
+}
+
 }  // namespace fixture

@@ -15,6 +15,16 @@ def main():
     # The TU is the last non-flag argument, as the driver passes it.
     files = [a for a in sys.argv[1:] if not a.startswith("-")
              and a != sys.argv[sys.argv.index("-p") + 1]]
+    if os.environ.get("FAKE_TIDY_ECHO_CHECKS") == "1":
+        # Reflect the per-path --checks filter (or its absence) back as a
+        # diagnostic so the driver's PATH_CHECK_FILTERS plumbing is
+        # observable without a real clang-tidy.
+        checks = [a[len("--checks="):] for a in sys.argv[1:]
+                  if a.startswith("--checks=")]
+        for path in files:
+            print(f"{path}:1:1: warning: checks "
+                  f"{checks[0] if checks else 'none'} [fixture-echo]")
+        return 1
     if os.environ.get("FAKE_TIDY_CLEAN") == "1":
         return 0
     for path in files:

@@ -1,11 +1,17 @@
-// Seeded reinterpret-cast violation: a bare cast outside the audited
-// facade, with no allow annotation.
+// Seeded reinterpret-cast and simd-intrinsics violations: a bare cast and
+// a raw intrinsic call outside their audited homes, with no allow
+// annotation.
 #include <cstdint>
 
 namespace fixture {
 
 const std::uint64_t* ViewBits(const double* values) {
   return reinterpret_cast<const std::uint64_t*>(values);
+}
+
+double RogueIntrinsic(const double* values) {
+  __m256d v = _mm256_loadu_pd(values);
+  return _mm256_cvtsd_f64(v);
 }
 
 }  // namespace fixture

@@ -7,6 +7,7 @@ allow escape suppresses — and tools/run_clang_tidy.py's baseline-diff
 logic through a fake clang-tidy (no real install needed).
 """
 
+import json
 import os
 import shutil
 import subprocess
@@ -53,8 +54,8 @@ class SasLintTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1, proc.stdout)
         for rule in ("key-registered", "key-documented", "raw-rand",
                      "wall-clock", "unforked-rng", "reinterpret-cast",
-                     "allow-syntax", "header-self-contained",
-                     "cmake-sources"):
+                     "simd-intrinsics", "allow-syntax",
+                     "header-self-contained", "cmake-sources"):
             self.assertIn(f"[{rule}]", proc.stdout,
                           f"rule {rule} did not fire:\n{proc.stdout}")
 
@@ -126,6 +127,38 @@ class RunClangTidyTest(unittest.TestCase):
                         "--clang-tidy", FAKE_TIDY, "--baseline", baseline,
                         "tests/lint/fixtures/tidy/src"], env=env)
             self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_per_path_check_filters_reach_the_tool(self):
+        # TUs under src/core/simd* get targeted --checks exclusions (the
+        # intrinsics TU is exempt from portability/cast/magic-number checks
+        # by design, keeping the baseline file empty); every other TU runs
+        # with the unmodified repo config. The fake tidy echoes the filter
+        # it received back as a diagnostic so both cases are observable.
+        with tempfile.TemporaryDirectory() as tmp:
+            db = [{"directory": REPO_ROOT,
+                   "command": f"c++ -c src/core/{name}",
+                   "file": f"src/core/{name}"}
+                  for name in ("simd.cc", "ipps.cc")]
+            with open(os.path.join(tmp, "compile_commands.json"), "w",
+                      encoding="utf-8") as f:
+                json.dump(db, f)
+            proc = run([RUN_TIDY, "--build-dir", tmp,
+                        "--clang-tidy", FAKE_TIDY,
+                        "--baseline",
+                        os.path.join(TIDY_FIXTURE, "baseline_empty.txt"),
+                        "src/core/simd.cc", "src/core/ipps.cc"],
+                       env={"FAKE_TIDY_ECHO_CHECKS": "1"})
+            # The echoed diagnostics are "new" against the empty baseline.
+            self.assertEqual(proc.returncode, 1, proc.stdout)
+            simd_lines = [ln for ln in proc.stdout.splitlines()
+                          if ln.startswith("src/core/simd.cc")]
+            ipps_lines = [ln for ln in proc.stdout.splitlines()
+                          if ln.startswith("src/core/ipps.cc")]
+            self.assertTrue(simd_lines and ipps_lines, proc.stdout)
+            self.assertIn("-cppcoreguidelines-pro-type-reinterpret-cast",
+                          simd_lines[0])
+            self.assertIn("-portability-simd-intrinsics", simd_lines[0])
+            self.assertIn("checks none", ipps_lines[0])
 
     def test_missing_tool_skips_by_default_fails_when_required(self):
         argv = [RUN_TIDY, "--build-dir", TIDY_FIXTURE,

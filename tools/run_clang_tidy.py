@@ -26,6 +26,11 @@ entries run; the default is every entry under src/. Without clang-tidy on
 PATH (or $CLANG_TIDY) the driver prints a notice and exits 0 — pass
 --require-tool (CI does) to make a missing tool fatal. Exit codes: 0 clean,
 1 new diagnostics, 2 environment/usage error.
+
+TUs matching a PATH_CHECK_FILTERS prefix (currently src/core/simd*, the
+raw-intrinsics home) run with targeted `--checks` exclusions instead of
+baseline entries — intentional platform-specific idioms are filtered at
+the source rather than grandfathered, so the baseline stays empty.
 """
 
 import argparse
@@ -47,6 +52,30 @@ DIAG_RE = re.compile(
 # Versioned fallbacks searched after plain "clang-tidy" (newest first).
 TIDY_CANDIDATES = ["clang-tidy"] + [
     f"clang-tidy-{v}" for v in range(21, 13, -1)]
+
+# Per-path check filters: TUs that are intentionally platform-specific get
+# targeted `--checks` exclusions appended to the repo .clang-tidy config
+# instead of baseline entries, keeping tools/tidy_baseline.txt empty. Each
+# entry is (repo-relative path prefix, checks filter passed for that TU).
+PATH_CHECK_FILTERS = (
+    # The SIMD kernel TU speaks raw x86 intrinsics by design (see
+    # core/simd.h): vector load/store pointer casts and width constants are
+    # part of the intrinsics contract, not defects. Everything else goes
+    # through the dispatch facade and keeps the full check set.
+    ("src/core/simd",
+     "-portability-simd-intrinsics,"
+     "-cppcoreguidelines-pro-type-reinterpret-cast,"
+     "-readability-magic-numbers,"
+     "-cppcoreguidelines-avoid-magic-numbers"),
+)
+
+
+def checks_filter_for(path):
+    rel = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+    for prefix, checks in PATH_CHECK_FILTERS:
+        if rel.startswith(prefix):
+            return checks
+    return None
 
 
 def find_clang_tidy(explicit):
@@ -100,9 +129,13 @@ def select_files(files, path_filters):
 
 def run_one(clang_tidy, build_dir, path):
     """Runs clang-tidy on one TU; returns (path, diagnostics, hard_error)."""
+    cmd = [clang_tidy, "-p", build_dir, "--quiet"]
+    checks = checks_filter_for(path)
+    if checks:
+        cmd.append(f"--checks={checks}")
+    cmd.append(path)
     proc = subprocess.run(
-        [clang_tidy, "-p", build_dir, "--quiet", path],
-        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
     diags = []
     for line in proc.stdout.splitlines():
         m = DIAG_RE.match(line)

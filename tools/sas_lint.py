@@ -23,7 +23,16 @@ Rules (each violation prints "path:line: [rule] message"; exit 1 on any):
                          seeded from config or derived via Fork/ForkSeed so
                          runs replay bit-identically.
   reinterpret-cast       no reinterpret_cast under src/ outside the audited
-                         flat-coords facade (src/aware/flat_coords.h).
+                         files (the flat-coords facade
+                         src/aware/flat_coords.h and the SIMD kernel TU
+                         src/core/simd.cc, whose vector load/store casts
+                         are part of the intrinsics contract).
+  simd-intrinsics        x86 intrinsics (immintrin.h, _mm* calls, __m128/
+                         __m256/__m512 vector types) appear only under the
+                         SIMD facade (src/core/simd*) — everything else
+                         calls the dispatched kernels of core/simd.h, so
+                         the scalar build stays portable and the
+                         SIMD surface auditable.
   allow-syntax           every `// sas-lint: allow(<rule>)` escape names a
                          known rule and carries a `: reason` string.
   header-self-contained  every header under src/ compiles on its own
@@ -63,7 +72,12 @@ REGISTRY_IMPL_FILES = (
 )
 KEYS_HEADER = "src/api/keys.h"
 KEYS_DOC = "docs/keys.md"
-AUDITED_REINTERPRET_FILES = ("src/aware/flat_coords.h",)
+AUDITED_REINTERPRET_FILES = (
+    "src/aware/flat_coords.h",
+    "src/core/simd.cc",
+)
+# Files allowed to touch x86 intrinsics directly (prefix match).
+SIMD_HOME_PREFIX = "src/core/simd"
 
 RULES = (
     "key-registered",
@@ -72,6 +86,7 @@ RULES = (
     "wall-clock",
     "unforked-rng",
     "reinterpret-cast",
+    "simd-intrinsics",
     "allow-syntax",
     "header-self-contained",
     "cmake-sources",
@@ -90,6 +105,10 @@ RE_WALL_CLOCK = re.compile(
 # never match: the construction must carry an argument.
 RE_UNFORKED_RNG = re.compile(r"\bRng\s+\w+\s*;|\bRng\s*(?:\(\s*\)|\{\s*\})")
 RE_REINTERPRET = re.compile(r"\breinterpret_cast\b")
+# x86 SIMD surface: the intrinsics header, any _mm*_*() intrinsic call, or
+# a __m128/__m256/__m512 vector type.
+RE_SIMD = re.compile(
+    r"immintrin\.h|\b_mm\w*_\w+\s*\(|\b__m(?:64|128|256|512)[a-z]*\b")
 
 RE_ALLOW = re.compile(
     r"//\s*sas-lint:\s*allow\(([^)\s]*)\)(?:\s*:\s*(\S.*))?")
@@ -204,6 +223,8 @@ class Linter:
                                ("unforked-rng", RE_UNFORKED_RNG)]
             if not audited:
                 rules_here.append(("reinterpret-cast", RE_REINTERPRET))
+            if not relu.startswith(SIMD_HOME_PREFIX):
+                rules_here.append(("simd-intrinsics", RE_SIMD))
 
             for idx, line in enumerate(stripped, 1):
                 for rule, pattern in rules_here:
@@ -214,9 +235,15 @@ class Linter:
                     snippet = raw_lines[idx - 1].strip()
                     if rule == "reinterpret-cast":
                         msg = ("bare reinterpret_cast outside the audited "
-                               "facade (src/aware/flat_coords.h) — use "
-                               "AsFlatCoords, std::bit_cast, or an allow "
-                               f"with rationale: {snippet}")
+                               "files "
+                               f"({', '.join(AUDITED_REINTERPRET_FILES)}) — "
+                               "use AsFlatCoords, std::bit_cast, or an "
+                               f"allow with rationale: {snippet}")
+                    elif rule == "simd-intrinsics":
+                        msg = ("x86 intrinsics outside the SIMD facade "
+                               f"({SIMD_HOME_PREFIX}*) — add a dispatched "
+                               "kernel to core/simd.h instead, or carry a "
+                               f"reasoned allow: {snippet}")
                     elif rule == "unforked-rng":
                         msg = ("seedless Rng in the deterministic core — "
                                "seed from config or derive via "
@@ -374,7 +401,7 @@ def main():
         print(f"FAIL: {len(linter.violations)} sas-lint violation(s)")
         return 1
     print("OK: sas-lint clean "
-          f"({'8' if args.no_headers else '9'} rules over {args.root})")
+          f"({'9' if args.no_headers else '10'} rules over {args.root})")
     return 0
 
 
