@@ -133,6 +133,9 @@ int main(int argc, char** argv) {
   SummarizerConfig cfg;
   cfg.s = static_cast<double>(s);
   cfg.seed = 99;
+  // A live collector feed is untrusted input: quarantine corrupt records
+  // (counted below) instead of stalling the monitor on the first bad row.
+  cfg.ingest_policy = IngestPolicy::kQuarantine;
   auto builder = MakeSummarizer(key, cfg);
   WindowedSummarizer* win = builder->AsWindowed();
 
@@ -191,9 +194,17 @@ int main(int argc, char** argv) {
   }
   checkpoint(std::max(next_checkpoint - kHour, win->now()));
 
-  std::printf("\ntrace: %zu records (%zu malformed skipped), "
-              "%zu window merges, %zu bucket builders recycled\n",
-              reader.records_read(), reader.lines_skipped(),
+  const TraceStats& ts = reader.stats();
+  const IngestStats& ingest = builder->Describe();
+  std::printf("\ntrace: %zu rows parsed, %zu malformed, %zu non-finite\n",
+              ts.parsed, ts.malformed, ts.nonfinite);
+  std::printf("ingest: %llu accepted, %llu quarantined (weight), "
+              "%llu quarantined (time), %llu budget degradations\n",
+              static_cast<unsigned long long>(ingest.accepted),
+              static_cast<unsigned long long>(ingest.rejected_weight),
+              static_cast<unsigned long long>(ingest.rejected_coord),
+              static_cast<unsigned long long>(ingest.degradations));
+  std::printf("window: %zu merges, %zu bucket builders recycled\n",
               win->merges_performed(), win->recycled_builders());
   if (failures > 0) return 1;
   std::printf("all checkpoint totals exact within 1e-6\n");

@@ -42,9 +42,19 @@ class BufferingSummarizer : public Summarizer {
  public:
   using Summarizer::Summarizer;
 
-  void Add(const WeightedKey& item) override { items_.push_back(item); }
+  void Add(const WeightedKey& item) override {
+    if (!AdmitWeight(item.weight)) return;
+    items_.push_back(item);
+  }
   void AddBatch(std::span<const WeightedKey> items) override {
-    items_.insert(items_.end(), items.begin(), items.end());
+    if (AllFinite(items)) {
+      stats_.accepted += items.size();
+      items_.insert(items_.end(), items.begin(), items.end());
+      return;
+    }
+    for (const WeightedKey& it : items) {
+      if (AdmitWeight(it.weight)) items_.push_back(it);
+    }
   }
 
   /// Buffering methods recycle trivially: drop the buffer (keeping its
@@ -53,6 +63,7 @@ class BufferingSummarizer : public Summarizer {
   /// a fresh one.
   bool Reset(std::uint64_t seed) override {
     items_.clear();
+    stats_ = IngestStats{};
     cfg_.seed = seed;
     return true;
   }
@@ -165,6 +176,7 @@ class NdBuilder : public Summarizer {
     if (used_coords_) {
       throw std::logic_error("nd summarizer: do not mix Add and AddCoords");
     }
+    if (!AdmitWeight(item.weight)) return;
     coords_.push_back(item.pt.x);
     if (dims == 2) coords_.push_back(item.pt.y);
     weights_.push_back(item.weight);
@@ -192,6 +204,7 @@ class NdBuilder : public Summarizer {
     coord_ids_.clear();
     originals_.clear();
     used_coords_ = false;
+    stats_ = IngestStats{};
     cfg_.seed = seed;
     return true;
   }
@@ -207,6 +220,7 @@ class NdBuilder : public Summarizer {
       throw std::logic_error(
           "nd summarizer: do not mix AddCoords and AddCoordsKeyed");
     }
+    if (!AdmitWeight(w)) return;
     used_coords_ = true;
     coords_.insert(coords_.end(), coords, coords + dims);
     weights_.push_back(w);
@@ -224,6 +238,7 @@ class NdBuilder : public Summarizer {
       throw std::logic_error(
           "nd summarizer: do not mix AddCoords and AddCoordsKeyed");
     }
+    if (!AdmitWeight(w)) return;
     used_coords_ = true;
     coord_ids_.push_back(id);
     coords_.insert(coords_.end(), coords, coords + dims);
@@ -281,13 +296,19 @@ class TwoPassProductBuilder : public Summarizer {
         sampler_(cfg_.s, TwoPassConfig{cfg_.sprime_factor}, rng_.Split()) {}
 
   void Add(const WeightedKey& item) override {
+    if (!AdmitWeight(item.weight)) return;
     sampler_.Pass1(item);
     buffer_.push_back(item);
   }
 
   void AddBatch(std::span<const WeightedKey> items) override {
-    for (const WeightedKey& it : items) sampler_.Pass1(it);
-    buffer_.insert(buffer_.end(), items.begin(), items.end());
+    if (AllFinite(items)) {
+      stats_.accepted += items.size();
+      for (const WeightedKey& it : items) sampler_.Pass1(it);
+      buffer_.insert(buffer_.end(), items.begin(), items.end());
+      return;
+    }
+    for (const WeightedKey& it : items) Add(it);
   }
 
   bool Mergeable() const override { return true; }
@@ -366,18 +387,28 @@ class OblivBuilder : public Summarizer {
       : Summarizer(std::move(cfg)),
         sketch_(static_cast<std::size_t>(cfg_.s), Rng(cfg_.seed)) {}
 
-  void Add(const WeightedKey& item) override { sketch_.Push(item); }
+  void Add(const WeightedKey& item) override {
+    if (!AdmitWeight(item.weight)) return;
+    sketch_.Push(item);
+  }
 
   /// Batched ingest fast path: one virtual dispatch per batch, then the
-  /// sketch's non-virtual per-item loop.
+  /// sketch's non-virtual per-item loop. Falls back to per-record
+  /// validation only when the batch pre-scan finds an invalid weight.
   void AddBatch(std::span<const WeightedKey> items) override {
-    sketch_.PushBatch(items);
+    if (AllFinite(items)) {
+      stats_.accepted += items.size();
+      sketch_.PushBatch(items);
+      return;
+    }
+    for (const WeightedKey& it : items) Add(it);
   }
 
   bool Mergeable() const override { return true; }
 
   bool Reset(std::uint64_t seed) override {
     sketch_.Reset(Rng(seed));
+    stats_ = IngestStats{};
     cfg_.seed = seed;
     return true;
   }
@@ -418,11 +449,17 @@ class SketchBuilder : public Summarizer {
                 cfg_.sketch_rows, Rng(cfg_.seed).Next()) {}
 
   void Add(const WeightedKey& item) override {
+    if (!AdmitWeight(item.weight)) return;
     sketch_.Update(item.pt, item.weight);
   }
 
   void AddBatch(std::span<const WeightedKey> items) override {
-    for (const WeightedKey& it : items) sketch_.Update(it.pt, it.weight);
+    if (AllFinite(items)) {
+      stats_.accepted += items.size();
+      for (const WeightedKey& it : items) sketch_.Update(it.pt, it.weight);
+      return;
+    }
+    for (const WeightedKey& it : items) Add(it);
   }
 
   std::unique_ptr<RangeSummary> Finalize() override {

@@ -1,6 +1,7 @@
 #include "api/sharded.h"
 
 #include <cstddef>
+#include <cstdio>
 #include <exception>
 #include <stdexcept>
 #include <utility>
@@ -8,6 +9,7 @@
 #include "api/keys.h"
 #include "api/registry.h"
 #include "api/summary.h"
+#include "core/fault.h"
 #include "core/merge.h"
 #include "core/random.h"
 
@@ -23,11 +25,36 @@ constexpr std::size_t kMaxQueueDepth = 4;
 
 constexpr std::uint64_t kPartitionSaltTag = 0x5A5DED5A17E1F00DULL;
 
+/// Rough bytes one retained sample entry costs across the build (the entry
+/// itself plus reservoir/prob bookkeeping). Deliberately coarse: the
+/// max_bytes budget is a soft brake on sample-driven growth, not an
+/// allocator audit.
+constexpr std::size_t kBytesPerSampleEntry = 64;
+
 [[noreturn]] void BadKey(const std::string& key, const std::string& why) {
   throw std::invalid_argument("MakeSummarizer(\"" + key + "\"): " + why);
 }
 
+std::string BuildShardedErrorMessage(
+    const std::string& key, const std::vector<ShardFailure>& failures,
+    int num_shards) {
+  std::string msg = "MakeSummarizer(\"" + key + "\"): ingest failed in " +
+                    std::to_string(failures.size()) + " of " +
+                    std::to_string(num_shards) + " shard(s): ";
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    if (i > 0) msg += "; ";
+    msg += "[" + failures[i].message + "]";
+  }
+  return msg;
+}
+
 }  // namespace
+
+ShardedIngestError::ShardedIngestError(const std::string& key,
+                                       std::vector<ShardFailure> failures,
+                                       int num_shards)
+    : std::runtime_error(BuildShardedErrorMessage(key, failures, num_shards)),
+      failures_(std::move(failures)) {}
 
 namespace {
 std::size_t IndexWithSalt(KeyId id, std::uint64_t salt,
@@ -104,6 +131,7 @@ struct ShardedSummarizer::Batch {
 };
 
 struct ShardedSummarizer::Shard {
+  int index = 0;
   std::unique_ptr<Summarizer> inner;
 
   // Producer side: accumulation buffer filled by the caller thread.
@@ -118,6 +146,7 @@ struct ShardedSummarizer::Shard {
   std::vector<Batch> spare;
   bool closed = false;
   std::exception_ptr error;
+  std::string error_what;  // shard-index-prefixed message for aggregation
 
   // Worker side.
   std::thread worker;
@@ -127,11 +156,35 @@ struct ShardedSummarizer::Shard {
 ShardedSummarizer::ShardedSummarizer(std::string key,
                                      const ShardedKeySpec& spec,
                                      const SummarizerConfig& cfg)
-    : Summarizer(cfg), key_(std::move(key)) {
+    : Summarizer(cfg), key_(std::move(key)), inner_key_(spec.inner) {
   if (cfg.s < 1.0) {
     BadKey(key_, "summary size s must be >= 1 for the sharded wrapper "
                  "(the merged sample budget is integral)");
   }
+  // Memory-budget degradation (SummarizerConfig::max_bytes): each worker
+  // retains a sample of expected size inner s, so N shards cost roughly
+  // N * s * kBytesPerSampleEntry across the build. Step the inner s down
+  // by halving until the estimate fits (floor s = 1); estimates stay
+  // unbiased at the smaller s. Counted in IngestStats::degradations.
+  double inner_s = cfg.s;
+  if (cfg.max_bytes > 0) {
+    const auto estimate = [&](double s) {
+      return static_cast<std::size_t>(s) * kBytesPerSampleEntry *
+             static_cast<std::size_t>(spec.shards);
+    };
+    while (estimate(inner_s) > cfg.max_bytes && inner_s >= 2.0) {
+      inner_s = inner_s / 2.0;
+      ++degrade_steps_;
+    }
+    if (degrade_steps_ > 0) {
+      std::fprintf(stderr,
+                   "sas: %s: max_bytes=%zu: degraded inner s %g -> %g "
+                   "(%u halvings)\n",
+                   key_.c_str(), cfg.max_bytes, cfg.s, inner_s,
+                   degrade_steps_);
+    }
+  }
+  stats_.degradations = degrade_steps_;
   // Cached salt of the ShardIndex partition hash (see its doc for why the
   // partition is seed-salted).
   salt_ = Mix64(cfg.seed ^ kPartitionSaltTag);
@@ -139,7 +192,9 @@ ShardedSummarizer::ShardedSummarizer(std::string key,
   for (int i = 0; i < spec.shards; ++i) {
     SummarizerConfig inner_cfg = cfg;
     inner_cfg.seed = ForkSeed(cfg.seed, static_cast<std::uint64_t>(i));
+    inner_cfg.s = inner_s;
     auto sh = std::make_unique<Shard>();
+    sh->index = i;
     sh->inner = MakeSummarizer(spec.inner, inner_cfg);
     if (i == 0 && !sh->inner->Mergeable()) {
       BadKey(key_, "inner method \"" + spec.inner +
@@ -149,10 +204,20 @@ ShardedSummarizer::ShardedSummarizer(std::string key,
     sh->pending.items.reserve(kBatchSize);
     shards_.push_back(std::move(sh));
   }
+  SpawnWorkers();
+}
+
+ShardedSummarizer::~ShardedSummarizer() { CloseAndJoin(); }
+
+void ShardedSummarizer::SpawnWorkers() {
   try {
     for (auto& sh : shards_) {
-      sh->worker = std::thread(&ShardedSummarizer::WorkerLoop, sh.get());
+      sh->worker = std::thread(&ShardedSummarizer::WorkerLoop, this,
+                               sh.get());
     }
+    // sas-lint: allow(catch-all): thread spawn can fail with non-standard
+    // exceptions; workers already running must be joined before the Shard
+    // structs are destroyed, then the original error propagates.
   } catch (...) {
     // Thread creation failed partway (e.g. RLIMIT_NPROC): close and join
     // the workers already running before the Shard structs are destroyed.
@@ -161,18 +226,27 @@ ShardedSummarizer::ShardedSummarizer(std::string key,
   }
 }
 
-ShardedSummarizer::~ShardedSummarizer() { CloseAndJoin(); }
-
 ShardedSummarizer::Shard& ShardedSummarizer::ShardOf(KeyId id) {
   return *shards_[IndexWithSalt(id, salt_, shards_.size())];
 }
 
-void ShardedSummarizer::Add(const WeightedKey& item) {
+void ShardedSummarizer::RequireHealthy(const char* call) const {
   if (joined_) {
-    throw std::logic_error(
-        "sharded summarizer: Add after Finalize (builders are spent once "
-        "finalized)");
+    throw std::logic_error(std::string("sharded summarizer: ") + call +
+                           " after Finalize (builders are spent once "
+                           "finalized)");
   }
+  if (poisoned()) {
+    throw std::runtime_error(
+        std::string("sharded summarizer: ") + call +
+        " on a poisoned builder (a shard worker failed; call Finalize() "
+        "for the full failure list, or Reset(seed) to recover)");
+  }
+}
+
+void ShardedSummarizer::Add(const WeightedKey& item) {
+  RequireHealthy("Add");
+  if (!AdmitWeight(item.weight)) return;
   Shard& sh = ShardOf(item.id);
   sh.pending.items.push_back(item);
   if (sh.pending.size() >= kBatchSize) FlushPending(sh);
@@ -184,11 +258,8 @@ void ShardedSummarizer::AddCoords(const Coord* coords, int dims, Weight w) {
 
 void ShardedSummarizer::AddCoordsKeyed(KeyId id, const Coord* coords,
                                        int dims, Weight w) {
-  if (joined_) {
-    throw std::logic_error(
-        "sharded summarizer: AddCoords after Finalize (builders are spent "
-        "once finalized)");
-  }
+  RequireHealthy("AddCoords");
+  if (!AdmitWeight(w)) return;
   Shard& sh = ShardOf(id);
   // The flat coord layout needs one dims per batch; a (pathological) dims
   // change mid-stream just cuts the current batch short. The inner builder
@@ -216,6 +287,12 @@ void ShardedSummarizer::FlushPending(Shard& sh) {
 }
 
 void ShardedSummarizer::Enqueue(Shard& sh, Batch batch) {
+  // shard.queue.push fires only on producer-path pushes, not on the final
+  // flush inside CloseAndJoin — a throw there would escape Finalize (or
+  // the destructor) after teardown already began.
+  if (!joined_) {
+    FaultPoint(cfg_.faults.get(), fault_sites::kShardQueuePush, sh.index);
+  }
   std::unique_lock<std::mutex> lock(sh.mu);
   sh.can_push.wait(lock, [&] {
     return sh.queue.size() < kMaxQueueDepth || sh.error != nullptr ||
@@ -241,6 +318,8 @@ void ShardedSummarizer::WorkerLoop(Shard* sh) {
         sh->queue.pop_front();
         sh->can_push.notify_one();
       }
+      FaultPoint(cfg_.faults.get(), fault_sites::kShardWorkerBatch,
+                 sh->index);
       if (!batch.items.empty()) sh->inner->AddBatch(batch.items);
       const std::size_t ud = static_cast<std::size_t>(batch.dims);
       for (std::size_t j = 0; j < batch.coord_ids.size(); ++j) {
@@ -256,13 +335,32 @@ void ShardedSummarizer::WorkerLoop(Shard* sh) {
         }
       }
     }
+    FaultPoint(cfg_.faults.get(), fault_sites::kShardWorkerFinalize,
+               sh->index);
     sh->result = sh->inner->Finalize();
+  } catch (const std::exception& e) {
+    RecordWorkerError(sh, e.what());
+    // sas-lint: allow(catch-all): worker threads must never let an
+    // exception escape (std::terminate); non-standard exceptions are
+    // recorded with a placeholder message and reported from Finalize.
   } catch (...) {
-    std::lock_guard<std::mutex> lock(sh->mu);
-    sh->error = std::current_exception();
-    sh->queue.clear();
-    sh->can_push.notify_all();
+    RecordWorkerError(sh, "non-standard exception");
   }
+}
+
+void ShardedSummarizer::RecordWorkerError(Shard* sh,
+                                          const std::string& what) {
+  // Poison first (release pairs with the acquire in poisoned()) so a
+  // producer seeing an unblocked queue also sees the failure.
+  poisoned_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(sh->mu);
+  sh->error = std::current_exception();
+  sh->error_what = "shard " + std::to_string(sh->index) + " (inner \"" +
+                   inner_key_ + "\"): " + what;
+  // A dead worker drains nothing more: drop queued batches and unblock a
+  // producer waiting on back-pressure (Enqueue rechecks error and bails).
+  sh->queue.clear();
+  sh->can_push.notify_all();
 }
 
 void ShardedSummarizer::CloseAndJoin() {
@@ -281,8 +379,14 @@ void ShardedSummarizer::CloseAndJoin() {
 
 std::unique_ptr<RangeSummary> ShardedSummarizer::Finalize() {
   CloseAndJoin();
+  std::vector<ShardFailure> failures;
   for (auto& sh : shards_) {
-    if (sh->error != nullptr) std::rethrow_exception(sh->error);
+    if (sh->error != nullptr) {
+      failures.push_back({sh->index, sh->error_what});
+    }
+  }
+  if (!failures.empty()) {
+    throw ShardedIngestError(key_, std::move(failures), num_shards());
   }
 
   std::vector<Sample> parts;
@@ -302,6 +406,36 @@ std::unique_ptr<RangeSummary> ShardedSummarizer::Finalize() {
   Sample merged =
       MergeAllSamples(parts, static_cast<std::size_t>(cfg_.s), &merge_rng);
   return std::make_unique<SampleSummary>(key_, std::move(merged));
+}
+
+bool ShardedSummarizer::Reset(std::uint64_t seed) {
+  CloseAndJoin();
+  // All-or-nothing probe: shard inners are instances of one method, so the
+  // first refusal means none of them recycle — bail before touching state
+  // (the builder stays spent, as after any Finalize).
+  for (auto& sh : shards_) {
+    if (!sh->inner->Reset(ForkSeed(seed, static_cast<std::uint64_t>(
+                                             sh->index)))) {
+      return false;
+    }
+  }
+  for (auto& sh : shards_) {
+    sh->pending.clear();
+    sh->queue.clear();
+    sh->closed = false;
+    sh->error = nullptr;
+    sh->error_what.clear();
+    sh->result.reset();
+  }
+  cfg_.seed = seed;
+  salt_ = Mix64(seed ^ kPartitionSaltTag);
+  next_coord_id_ = 0;
+  stats_ = IngestStats{};
+  stats_.degradations = degrade_steps_;
+  poisoned_.store(false, std::memory_order_release);
+  joined_ = false;
+  SpawnWorkers();
+  return true;
 }
 
 std::unique_ptr<Summarizer> MakeShardedSummarizer(

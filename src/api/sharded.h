@@ -26,10 +26,13 @@
 #ifndef SAS_API_SHARDED_H_
 #define SAS_API_SHARDED_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +40,29 @@
 #include "api/summarizer.h"
 
 namespace sas {
+
+/// One failed shard, as reported by ShardedIngestError: the shard index and
+/// the worker's error message (already prefixed with the shard index and
+/// inner key).
+struct ShardFailure {
+  int shard = 0;
+  std::string message;
+};
+
+/// What ShardedSummarizer::Finalize throws when workers failed: every
+/// failed shard is listed (index + inner key + message), not just the first
+/// one — under back-pressure several workers can die independently, and
+/// retry logic needs to see all of them.
+class ShardedIngestError : public std::runtime_error {
+ public:
+  ShardedIngestError(const std::string& key,
+                     std::vector<ShardFailure> failures, int num_shards);
+
+  const std::vector<ShardFailure>& failures() const { return failures_; }
+
+ private:
+  std::vector<ShardFailure> failures_;
+};
 
 /// Parsed form of a composed "sharded:<N>:<inner-key>" key.
 struct ShardedKeySpec {
@@ -96,31 +122,53 @@ class ShardedSummarizer : public Summarizer {
                       Weight w) override;
 
   /// Flushes, joins the workers, finalizes every shard, and merges the
-  /// shard samples into one of (expected) size cfg.s. Rethrows the first
-  /// worker/finalize error.
+  /// shard samples into one of (expected) size cfg.s. If any workers
+  /// failed, throws one ShardedIngestError listing every failed shard
+  /// (index, inner key, message).
   std::unique_ptr<RangeSummary> Finalize() override;
 
   /// The merged output is itself a VarOpt sample, so sharded summarizers
   /// nest ("sharded:2:sharded:2:obliv" type compositions).
   bool Mergeable() const override { return true; }
 
+  /// Full recovery, including from the poisoned and finalized states:
+  /// joins any workers, resets every inner builder under ForkSeed(seed, i),
+  /// clears errors/results/counters, and respawns the worker pool. After a
+  /// successful Reset the builder is bit-identical to a freshly constructed
+  /// one with cfg.seed = seed. Returns false (leaving the builder spent)
+  /// when the inner method is not recyclable.
+  bool Reset(std::uint64_t seed) override;
+
   int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// True once any worker has failed: Add/AddCoords throw immediately (the
+  /// already-ingested input can no longer produce a complete summary);
+  /// Finalize() reports the failures; Reset(seed) recovers.
+  bool poisoned() const {
+    return poisoned_.load(std::memory_order_acquire);
+  }
 
  private:
   struct Shard;
   struct Batch;
 
   Shard& ShardOf(KeyId id);
+  void RequireHealthy(const char* call) const;
   void FlushPending(Shard& sh);
   void Enqueue(Shard& sh, Batch batch);
-  static void WorkerLoop(Shard* sh);
+  void WorkerLoop(Shard* sh);
+  void RecordWorkerError(Shard* sh, const std::string& what);
+  void SpawnWorkers();
   void CloseAndJoin();
 
   std::string key_;
+  std::string inner_key_;   // inner method key, for error messages
   std::uint64_t salt_ = 0;  // partition-hash salt derived from cfg.seed
   std::vector<std::unique_ptr<Shard>> shards_;
   KeyId next_coord_id_ = 0;  // global ids handed out by AddCoords
   bool joined_ = false;
+  std::uint32_t degrade_steps_ = 0;  // max_bytes halvings of the inner s
+  std::atomic<bool> poisoned_{false};
 };
 
 }  // namespace sas

@@ -1,6 +1,8 @@
 #include "api/summarizer.h"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace sas {
 
@@ -14,6 +16,33 @@ void Summarizer::AddCoords(const Coord* /*coords*/, int /*dims*/,
 void Summarizer::AddCoordsKeyed(KeyId /*id*/, const Coord* coords, int dims,
                                 Weight w) {
   AddCoords(coords, dims, w);
+}
+
+bool Summarizer::AdmitWeight(Weight w) {
+  if (std::isfinite(w) && w >= 0.0) {
+    ++stats_.accepted;
+    return true;
+  }
+  if (cfg_.ingest_policy == IngestPolicy::kStrict) {
+    throw std::invalid_argument(
+        "ingest rejected: weight must be finite and non-negative, got " +
+        std::to_string(w));
+  }
+  ++stats_.rejected_weight;
+  return false;
+}
+
+bool Summarizer::AllFinite(std::span<const WeightedKey> items) {
+  // Summing is branch-free per element: any NaN/Inf poisons the total, and
+  // a negative weight can only drag a non-negative running minimum below
+  // zero. One pass, no early exits to mispredict on clean input.
+  Weight sum = 0.0;
+  Weight min = 0.0;
+  for (const WeightedKey& it : items) {
+    sum += it.weight;
+    min = it.weight < min ? it.weight : min;
+  }
+  return std::isfinite(sum) && min >= 0.0;
 }
 
 }  // namespace sas

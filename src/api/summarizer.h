@@ -39,8 +39,38 @@
 
 namespace sas {
 
+class FaultInjector;
 class Hierarchy;
 class WindowedSummarizer;
+
+/// What a builder does with an invalid record (non-finite or negative
+/// weight, non-finite coordinate or timestamp at the parse boundary).
+enum class IngestPolicy {
+  /// Reject loudly: Add/AddBatch throw std::invalid_argument before any
+  /// state changes. The default — corrupt input is a caller bug.
+  kStrict,
+  /// Quarantine quietly: drop the record, count it in IngestStats, keep
+  /// ingesting. For pipelines fed by untrusted traces that must not stall.
+  kQuarantine,
+};
+
+/// Ingest-boundary counters surfaced by Summarizer::Describe(). Wrappers
+/// (sharded/windowed) report their own producer-side counters, not their
+/// inner builders' (records a wrapper accepts are never re-validated
+/// downstream).
+struct IngestStats {
+  /// Records admitted into the build.
+  std::uint64_t accepted = 0;
+  /// Records quarantined for a non-finite or negative weight.
+  std::uint64_t rejected_weight = 0;
+  /// Records quarantined for a non-finite coordinate/timestamp (only
+  /// reachable through boundaries that ingest floating-point positions,
+  /// e.g. the windowed wrapper's timestamps; API coords are integral).
+  std::uint64_t rejected_coord = 0;
+  /// Memory-budget degradation events (see SummarizerConfig::max_bytes):
+  /// number of times an engine stepped its effective sample size down.
+  std::uint64_t degradations = 0;
+};
 
 /// Describes the structure on the key domain that a structure-aware method
 /// should preserve (Section 2 of the paper). Baseline methods ignore it.
@@ -117,6 +147,26 @@ struct SummarizerConfig {
 
   /// Count-Sketch rows per dyadic level pair (sketch baseline).
   std::size_t sketch_rows = 3;
+
+  /// What to do with invalid records at the ingest boundary (see
+  /// IngestPolicy). Composed wrappers validate at their outer surface and
+  /// hand inner builders pre-validated batches.
+  IngestPolicy ingest_policy = IngestPolicy::kStrict;
+
+  /// Soft memory budget in bytes; 0 = unbounded (the default). Engines
+  /// that buffer per-epoch or per-shard state (windowed buckets, sharded
+  /// inners) respond to pressure against this budget by stepwise halving
+  /// their effective sample size s instead of growing without bound; each
+  /// step is counted in IngestStats::degradations and logged to stderr.
+  /// Estimates remain unbiased — a degraded build is a valid build at a
+  /// smaller s.
+  std::size_t max_bytes = 0;
+
+  /// Fault injector driving this builder's fault sites; null (the default)
+  /// falls back to FaultInjector::Global(), which arms itself from the
+  /// SAS_FAULTS environment variable. Tests install their own injector
+  /// here for isolation; composed wrappers propagate it to inner builders.
+  std::shared_ptr<FaultInjector> faults;
 };
 
 /// Uniform builder: feed items with Add/AddBatch (or AddCoords for the
@@ -197,8 +247,28 @@ class Summarizer {
   /// its seed in place).
   const SummarizerConfig& config() const { return cfg_; }
 
+  /// Ingest-boundary counters for this builder (see IngestStats). Read
+  /// from the ingest thread, or after workers have joined — reading while
+  /// another thread ingests is a race by the single-caller contract.
+  const IngestStats& Describe() const { return stats_; }
+
  protected:
+  /// Validates one weight at the ingest boundary: accepts finite
+  /// non-negative weights (counted in stats_.accepted) and handles the rest
+  /// per cfg_.ingest_policy — kStrict throws std::invalid_argument naming
+  /// the offending value; kQuarantine counts it in stats_.rejected_weight
+  /// and returns false ("drop this record"). Implementations call this
+  /// before any state changes so strict rejection leaves the builder
+  /// untouched.
+  bool AdmitWeight(Weight w);
+
+  /// Batch fast path: true when every weight in `items` is finite and
+  /// non-negative, so AddBatch overrides can skip per-record AdmitWeight
+  /// calls (bulk-count into stats_.accepted) on clean input.
+  static bool AllFinite(std::span<const WeightedKey> items);
+
   SummarizerConfig cfg_;
+  IngestStats stats_;
 };
 
 }  // namespace sas

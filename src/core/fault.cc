@@ -1,0 +1,180 @@
+#include "core/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace sas {
+namespace {
+
+// One parsed clause of the spec, e.g. "shard.worker.batch#0=fail@2/3".
+// Splits on the first '=' into site[#lane] and action@N[/K][:USEC].
+struct ParsedClause {
+  std::string site;
+  std::int64_t lane = -1;
+  bool is_delay = false;
+  std::uint64_t nth = 1;
+  std::uint64_t every = 0;
+  std::uint64_t delay_us = 0;
+};
+
+[[noreturn]] void BadClause(const std::string& clause, const char* why) {
+  throw std::invalid_argument("SAS_FAULTS: bad clause '" + clause + "': " +
+                              why);
+}
+
+std::uint64_t ParseCount(const std::string& clause, const std::string& text,
+                         const char* what) {
+  if (text.empty()) BadClause(clause, what);
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') BadClause(clause, what);
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+ParsedClause ParseClause(const std::string& clause) {
+  ParsedClause out;
+  const std::size_t eq = clause.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    BadClause(clause, "expected site=action");
+  }
+  std::string site = clause.substr(0, eq);
+  const std::size_t hash = site.find('#');
+  if (hash != std::string::npos) {
+    out.lane = static_cast<std::int64_t>(
+        ParseCount(clause, site.substr(hash + 1), "lane must be a number"));
+    site.resize(hash);
+  }
+  if (site.empty()) BadClause(clause, "empty site name");
+  out.site = site;
+
+  std::string action = clause.substr(eq + 1);
+  const std::size_t at = action.find('@');
+  if (at == std::string::npos) BadClause(clause, "expected action@N");
+  const std::string verb = action.substr(0, at);
+  std::string sched = action.substr(at + 1);
+  if (verb == "fail") {
+    out.is_delay = false;
+  } else if (verb == "delay") {
+    out.is_delay = true;
+    const std::size_t colon = sched.find(':');
+    if (colon == std::string::npos) {
+      BadClause(clause, "delay needs a :USEC suffix");
+    }
+    out.delay_us = ParseCount(clause, sched.substr(colon + 1),
+                              "delay microseconds must be a number");
+    sched.resize(colon);
+  } else {
+    BadClause(clause, "action must be 'fail' or 'delay'");
+  }
+  const std::size_t slash = sched.find('/');
+  if (slash != std::string::npos) {
+    out.every = ParseCount(clause, sched.substr(slash + 1),
+                           "period K must be a number");
+    if (out.every == 0) BadClause(clause, "period K must be >= 1");
+    sched.resize(slash);
+  }
+  out.nth = ParseCount(clause, sched, "hit ordinal N must be a number");
+  if (out.nth == 0) BadClause(clause, "hit ordinal N is 1-based");
+  return out;
+}
+
+// A rule fires on hit ordinal `nth` and, when `every` is set, on every
+// `every`-th hit after that. Pure function of the counter, so schedules
+// replay identically across runs.
+bool Due(std::uint64_t n, std::uint64_t nth, std::uint64_t every) {
+  if (n == nth) return true;
+  return every > 0 && n > nth && (n - nth) % every == 0;
+}
+
+}  // namespace
+
+FaultInjectionError::FaultInjectionError(const std::string& site,
+                                         std::uint64_t hit)
+    : std::runtime_error("injected fault at site '" + site + "' (hit " +
+                         std::to_string(hit) + ")"),
+      site_(site),
+      hit_(hit) {}
+
+void FaultInjector::Configure(const std::string& spec) {
+  std::vector<std::unique_ptr<Rule>> parsed;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(';', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (clause.empty()) continue;
+    const ParsedClause pc = ParseClause(clause);
+    auto rule = std::make_unique<Rule>();
+    rule->site = pc.site;
+    rule->lane = pc.lane;
+    rule->is_delay = pc.is_delay;
+    rule->nth = pc.nth;
+    rule->every = pc.every;
+    rule->delay_us = pc.delay_us;
+    parsed.push_back(std::move(rule));
+  }
+  rules_ = std::move(parsed);
+  fired_.store(0, std::memory_order_relaxed);
+  armed_.store(!rules_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::Clear() {
+  rules_.clear();
+  fired_.store(0, std::memory_order_relaxed);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::PollImpl(const char* site, std::int64_t lane,
+                             std::uint64_t* hit_out) {
+  bool fail_due = false;
+  for (const auto& rule : rules_) {
+    if (rule->site != site) continue;
+    if (rule->lane >= 0 && rule->lane != lane) continue;
+    const std::uint64_t n =
+        rule->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!Due(n, rule->nth, rule->every)) continue;
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    if (rule->is_delay) {
+      std::this_thread::sleep_for(std::chrono::microseconds(rule->delay_us));
+    } else if (!fail_due) {
+      fail_due = true;
+      if (hit_out != nullptr) *hit_out = n;
+    }
+  }
+  return fail_due;
+}
+
+void FaultInjector::Hit(const char* site, std::int64_t lane) {
+  std::uint64_t hit = 0;
+  if (PollImpl(site, lane, &hit)) throw FaultInjectionError(site, hit);
+}
+
+bool FaultInjector::Poll(const char* site, std::int64_t lane) {
+  return PollImpl(site, lane, nullptr);
+}
+
+std::uint64_t FaultInjector::HitCount(const std::string& site) const {
+  std::uint64_t total = 0;
+  for (const auto& rule : rules_) {
+    if (rule->site == site) {
+      total += rule->hits.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* fi = new FaultInjector();
+    const char* spec = std::getenv("SAS_FAULTS");
+    if (spec != nullptr && spec[0] != '\0') fi->Configure(spec);
+    return fi;
+  }();
+  return *injector;
+}
+
+}  // namespace sas

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "core/fault.h"
+
 namespace sas {
 
 namespace {
@@ -30,11 +32,14 @@ std::size_t SplitFields(const std::string& line, char delim,
   return count;
 }
 
+/// Numeric parse only — "inf"/"nan" are accepted here (strtod parses
+/// them); the caller classifies non-finite values separately so the stats
+/// can tell wire corruption from poisoned-but-well-formed rows.
 bool ParseDouble(const std::string& s, double* out) {
   if (s.empty()) return false;
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
-  if (end != s.c_str() + s.size() || !std::isfinite(v)) return false;
+  if (end != s.c_str() + s.size()) return false;
   *out = v;
   return true;
 }
@@ -55,27 +60,37 @@ TraceReader::TraceReader(std::istream& in, Options opt)
   if (opt_.batch_size == 0) opt_.batch_size = 1;
 }
 
-bool TraceReader::ParseLine(const std::string& line, TimedItem* out) const {
+TraceReader::RowStatus TraceReader::ParseLine(const std::string& line,
+                                              TimedItem* out) const {
   std::string fields[5];
   const std::size_t n = SplitFields(line, opt_.delimiter, fields, 5);
-  if (n < 3) return false;
+  if (n < 3) return RowStatus::kMalformed;
   double ts = 0.0, weight = 0.0;
   Coord key = 0;
   if (!ParseDouble(fields[0], &ts) || !ParseCoord(fields[1], &key) ||
       !ParseDouble(fields[2], &weight)) {
-    return false;
+    return RowStatus::kMalformed;
+  }
+  if (!std::isfinite(ts) || !std::isfinite(weight)) {
+    return RowStatus::kNonFinite;
   }
   out->ts = ts;
   out->item.id = static_cast<KeyId>(key);  // ids are dense 32-bit indices
   out->item.weight = weight;
   out->item.pt = {key, 0};
-  if (n >= 4 && !ParseCoord(fields[3], &out->item.pt.x)) return false;
-  if (n >= 5 && !ParseCoord(fields[4], &out->item.pt.y)) return false;
-  return true;
+  if (n >= 4 && !ParseCoord(fields[3], &out->item.pt.x)) {
+    return RowStatus::kMalformed;
+  }
+  if (n >= 5 && !ParseCoord(fields[4], &out->item.pt.y)) {
+    return RowStatus::kMalformed;
+  }
+  return RowStatus::kOk;
 }
 
 bool TraceReader::NextBatch(std::vector<TimedItem>* out) {
   out->clear();
+  FaultInjector& faults =
+      opt_.faults != nullptr ? *opt_.faults : FaultInjector::Global();
   std::string line;
   TimedItem record;
   while (out->size() < opt_.batch_size && std::getline(in_, line)) {
@@ -88,15 +103,24 @@ bool TraceReader::NextBatch(std::vector<TimedItem>* out) {
     }
     if (first == line.size() || line[first] == '#') continue;
 
-    if (ParseLine(line, &record)) {
+    const RowStatus status = ParseLine(line, &record);
+    if (status == RowStatus::kOk) {
       first_data_line_ = false;
-      ++records_;
+      // The trace.row fault site corrupts this (otherwise good) row: it is
+      // dropped and counted as malformed, like a row mangled on the wire.
+      if (faults.armed() && faults.Poll(fault_sites::kTraceRow)) {
+        ++stats_.malformed;
+        continue;
+      }
+      ++stats_.parsed;
       out->push_back(record);
     } else if (first_data_line_) {
-      // A non-numeric first data line is a header; skip it silently.
+      // A non-parsing first data line is a header; skip it silently.
       first_data_line_ = false;
+    } else if (status == RowStatus::kNonFinite) {
+      ++stats_.nonfinite;
     } else {
-      ++skipped_;
+      ++stats_.malformed;
     }
   }
   return !out->empty();

@@ -31,10 +31,28 @@
 
 namespace sas {
 
+class FaultInjector;
+
 /// One parsed trace record: arrival time plus the weighted key.
 struct TimedItem {
   double ts = 0.0;
   WeightedKey item;
+};
+
+/// Per-class ingest counters: every data line lands in exactly one bucket
+/// (comments, blanks, and the detected header line land in none). A
+/// monitor that prints parsed/malformed/nonfinite sees every drop a long
+/// ingest made — nothing is skipped silently.
+struct TraceStats {
+  /// Lines parsed into a TimedItem and emitted.
+  std::size_t parsed = 0;
+  /// Lines dropped because they do not parse: too few fields, non-numeric
+  /// timestamp/key/weight, bad coordinate columns (also counts rows
+  /// corrupted by the `trace.row` fault site).
+  std::size_t malformed = 0;
+  /// Lines dropped because they parse numerically but carry a non-finite
+  /// timestamp or weight ("inf"/"nan" are valid strtod inputs).
+  std::size_t nonfinite = 0;
 };
 
 class TraceReader {
@@ -44,6 +62,11 @@ class TraceReader {
     /// batch size by default).
     std::size_t batch_size = 4096;
     char delimiter = ',';
+    /// Fault injector driving the `trace.row` site (borrowed; must outlive
+    /// the reader). Null falls back to FaultInjector::Global(). A firing
+    /// `fail` rule corrupts that row — it is dropped and counted as
+    /// malformed — rather than throwing, mimicking wire corruption.
+    FaultInjector* faults = nullptr;
   };
 
   /// The stream must outlive the reader.
@@ -54,19 +77,26 @@ class TraceReader {
   /// true when at least one record was read; false at end of input.
   bool NextBatch(std::vector<TimedItem>* out);
 
-  /// Records successfully parsed so far.
-  std::size_t records_read() const { return records_; }
-  /// Malformed data lines skipped so far (comments, blanks, and the header
-  /// do not count).
-  std::size_t lines_skipped() const { return skipped_; }
+  /// Per-class ingest counters so far.
+  const TraceStats& stats() const { return stats_; }
+
+  /// Records successfully parsed so far (== stats().parsed).
+  std::size_t records_read() const { return stats_.parsed; }
+  /// Data lines dropped so far, all classes (comments, blanks, and the
+  /// header do not count); == stats().malformed + stats().nonfinite.
+  std::size_t lines_skipped() const {
+    return stats_.malformed + stats_.nonfinite;
+  }
 
  private:
-  bool ParseLine(const std::string& line, TimedItem* out) const;
+  /// How ParseLine classified one data line.
+  enum class RowStatus { kOk, kMalformed, kNonFinite };
+
+  RowStatus ParseLine(const std::string& line, TimedItem* out) const;
 
   std::istream& in_;
   Options opt_;
-  std::size_t records_ = 0;
-  std::size_t skipped_ = 0;
+  TraceStats stats_;
   bool first_data_line_ = true;
 };
 

@@ -1,11 +1,13 @@
 #include "window/windowed.h"
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
 #include "api/keys.h"
 #include "api/registry.h"
+#include "core/fault.h"
 
 namespace sas {
 
@@ -20,6 +22,10 @@ constexpr std::size_t kMaxFreeBuilders = 2;
 // each other and of the sharded wrapper's partition salt.
 constexpr std::uint64_t kBucketSeedTag = 0x5EA1B0C4E7B0C4E7ULL;
 constexpr std::uint64_t kMergeSeedTag = 0x3E6E5A1AD3A9F0B5ULL;
+
+/// Rough bytes one retained sample entry costs (entry + reservoir
+/// bookkeeping); the same coarse constant the sharded wrapper budgets with.
+constexpr std::size_t kBytesPerSampleEntry = 64;
 
 [[noreturn]] void BadKey(const std::string& key, const std::string& why) {
   throw std::invalid_argument("MakeSummarizer(\"" + key + "\"): " + why);
@@ -127,6 +133,8 @@ WindowedSummarizer::WindowedSummarizer(std::string key,
   }
   bucket_seed_base_ = Mix64(cfg.seed ^ kBucketSeedTag);
   merge_seed_base_ = Mix64(cfg.seed ^ kMergeSeedTag);
+  effective_s_ = cfg.s;
+  free_builder_s_ = cfg.s;
   ring_.resize(static_cast<std::size_t>(spec.buckets));
 
   // Probe the inner method eagerly: unknown keys, invalid configs, and
@@ -152,6 +160,13 @@ void WindowedSummarizer::RequireLive(const char* what) const {
     throw std::logic_error(std::string("windowed summarizer: ") + what +
                            " after Finalize (builders are spent once "
                            "finalized)");
+  }
+  if (poisoned_) {
+    throw std::runtime_error(
+        std::string("windowed summarizer: ") + what +
+        " on a poisoned builder (a bucket seal or window merge failed "
+        "mid-update, so the ring may be inconsistent; Reset(seed) "
+        "recovers)");
   }
 }
 
@@ -182,6 +197,13 @@ std::unique_ptr<Summarizer> WindowedSummarizer::AcquireInner(
     std::int64_t epoch) {
   const std::uint64_t seed =
       ForkSeed(bucket_seed_base_, static_cast<std::uint64_t>(epoch));
+  if (free_builder_s_ != effective_s_) {
+    // A budget degradation changed the bucket sample size; cached builders
+    // are pinned to the old s (Reset reseeds but cannot resize), so the
+    // free list is rebuilt at the new size.
+    free_builders_.clear();
+    free_builder_s_ = effective_s_;
+  }
   if (!free_builders_.empty()) {
     auto builder = std::move(free_builders_.back());
     free_builders_.pop_back();
@@ -197,6 +219,10 @@ std::unique_ptr<Summarizer> WindowedSummarizer::AcquireInner(
   }
   SummarizerConfig inner_cfg = cfg_;
   inner_cfg.seed = seed;
+  inner_cfg.s = effective_s_;
+  // The wrapper already budgets the whole ring; the inner build must not
+  // degrade again on its own.
+  inner_cfg.max_bytes = 0;
   return MakeSummarizer(inner_key_, inner_cfg);
 }
 
@@ -206,8 +232,35 @@ void WindowedSummarizer::ReleaseInner(std::unique_ptr<Summarizer> spent) {
   }
 }
 
+void WindowedSummarizer::MaybeDegrade() {
+  if (cfg_.max_bytes == 0) return;
+  std::size_t live_sealed = 0;
+  for (const Slot& slot : ring_) {
+    if (slot.epoch != kNoEpoch) ++live_sealed;
+  }
+  // The ring retains one expected-size-s sample per live sealed bucket
+  // plus the one about to be built.
+  const auto estimate = [&](double s) {
+    return (live_sealed + 1) * static_cast<std::size_t>(s) *
+           kBytesPerSampleEntry;
+  };
+  const double before = effective_s_;
+  while (estimate(effective_s_) > cfg_.max_bytes && effective_s_ >= 2.0) {
+    effective_s_ = effective_s_ / 2.0;
+    ++stats_.degradations;
+  }
+  if (effective_s_ != before) {
+    std::fprintf(stderr,
+                 "sas: %s: max_bytes=%zu: degraded bucket s %g -> %g "
+                 "(%zu live buckets)\n",
+                 key_.c_str(), cfg_.max_bytes, before, effective_s_,
+                 live_sealed + 1);
+  }
+}
+
 Sample WindowedSummarizer::BuildBucketSample(
     std::int64_t epoch, std::span<const WeightedKey> items) {
+  MaybeDegrade();
   auto builder = AcquireInner(epoch);
   builder->AddBatch(items);
   auto summary = builder->Finalize();
@@ -233,8 +286,18 @@ void WindowedSummarizer::SealCurrentBucket(std::int64_t next_epoch) {
   }
   Slot& slot = ring_[static_cast<std::size_t>(
       ((cur_epoch_ % buckets()) + buckets()) % buckets())];
-  slot.epoch = cur_epoch_;
-  slot.sample = BuildBucketSample(cur_epoch_, cur_items_);
+  try {
+    FaultPoint(cfg_.faults.get(), fault_sites::kWindowBucketSeal,
+               cur_epoch_);
+    slot.epoch = cur_epoch_;
+    slot.sample = BuildBucketSample(cur_epoch_, cur_items_);
+    // sas-lint: allow(catch-all): a failed seal leaves the slot and buffer
+    // half-updated; mark the ring poisoned before the error propagates so
+    // later calls fail fast instead of merging an inconsistent window.
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
   cur_items_.clear();  // keeps capacity: the next bucket reuses it
 }
 
@@ -265,6 +328,7 @@ void WindowedSummarizer::Advance(double now) {
 
 void WindowedSummarizer::Add(const WeightedKey& item) {
   RequireLive("Add");
+  if (!AdmitWeight(item.weight)) return;
   cur_items_.push_back(item);
   InvalidateCache();
 }
@@ -272,13 +336,26 @@ void WindowedSummarizer::Add(const WeightedKey& item) {
 void WindowedSummarizer::AddBatch(std::span<const WeightedKey> items) {
   RequireLive("AddBatch");
   if (items.empty()) return;
-  cur_items_.insert(cur_items_.end(), items.begin(), items.end());
+  if (AllFinite(items)) {
+    stats_.accepted += items.size();
+    cur_items_.insert(cur_items_.end(), items.begin(), items.end());
+  } else {
+    for (const WeightedKey& it : items) {
+      if (AdmitWeight(it.weight)) cur_items_.push_back(it);
+    }
+  }
   InvalidateCache();
 }
 
 void WindowedSummarizer::AddTimed(double ts, const WeightedKey& item) {
   RequireLive("AddTimed");
   if (!std::isfinite(ts)) {
+    if (cfg_.ingest_policy == IngestPolicy::kQuarantine) {
+      // A record without a real position on the time axis cannot be
+      // bucketed; quarantine it like a non-finite coordinate.
+      ++stats_.rejected_coord;
+      return;
+    }
     throw std::invalid_argument("windowed summarizer: AddTimed with a "
                                 "non-finite timestamp");
   }
@@ -299,30 +376,42 @@ void WindowedSummarizer::AddTimed(double ts, const WeightedKey& item) {
 
 const Sample& WindowedSummarizer::MergedWindow() {
   if (cache_valid_) return cached_window_;
-  merge_parts_.clear();
-  // Oldest to newest, so the part order (and with it the merge) is a
-  // deterministic function of the ring state.
-  for (int back = buckets() - 1; back >= 1; --back) {
-    const std::int64_t epoch = cur_epoch_ - back;
-    const Slot& slot = ring_[static_cast<std::size_t>(
-        ((epoch % buckets()) + buckets()) % buckets())];
-    if (slot.epoch == epoch) merge_parts_.push_back(&slot.sample);
+  try {
+    FaultPoint(cfg_.faults.get(), fault_sites::kWindowQueryMerge,
+               cur_epoch_);
+    merge_parts_.clear();
+    // Oldest to newest, so the part order (and with it the merge) is a
+    // deterministic function of the ring state.
+    for (int back = buckets() - 1; back >= 1; --back) {
+      const std::int64_t epoch = cur_epoch_ - back;
+      const Slot& slot = ring_[static_cast<std::size_t>(
+          ((epoch % buckets()) + buckets()) % buckets())];
+      if (slot.epoch == epoch) merge_parts_.push_back(&slot.sample);
+    }
+    Sample partial;
+    if (!cur_items_.empty()) {
+      partial = BuildBucketSample(cur_epoch_, cur_items_);
+      merge_parts_.push_back(&partial);
+    }
+    // The merge seed is a deterministic function of (config seed, epoch,
+    // items in the current bucket), so replaying a timestamped input
+    // reproduces every queried sample bit-identically. The target size is
+    // effective_s_, which tracks cfg.s until the max_bytes budget steps it
+    // down.
+    Rng merge_rng(ForkSeed(
+        merge_seed_base_,
+        Mix64(static_cast<std::uint64_t>(cur_epoch_)) ^ cur_items_.size()));
+    cached_window_ =
+        MergeSampleParts(merge_parts_.data(), merge_parts_.size(),
+                         static_cast<std::size_t>(effective_s_), &merge_rng,
+                         &merge_scratch_);
+    // sas-lint: allow(catch-all): a failed merge can leave the shared
+    // merge scratch and cache mid-update; mark the ring poisoned before
+    // the error propagates so later queries fail fast.
+  } catch (...) {
+    poisoned_ = true;
+    throw;
   }
-  Sample partial;
-  if (!cur_items_.empty()) {
-    partial = BuildBucketSample(cur_epoch_, cur_items_);
-    merge_parts_.push_back(&partial);
-  }
-  // The merge seed is a deterministic function of (config seed, epoch,
-  // items in the current bucket), so replaying a timestamped input
-  // reproduces every queried sample bit-identically.
-  Rng merge_rng(ForkSeed(
-      merge_seed_base_,
-      Mix64(static_cast<std::uint64_t>(cur_epoch_)) ^ cur_items_.size()));
-  cached_window_ =
-      MergeSampleParts(merge_parts_.data(), merge_parts_.size(),
-                       static_cast<std::size_t>(cfg_.s), &merge_rng,
-                       &merge_scratch_);
   ++merges_;
   cache_valid_ = true;
   return cached_window_;
@@ -339,6 +428,33 @@ std::unique_ptr<RangeSummary> WindowedSummarizer::Finalize() {
   MergedWindow();
   finalized_ = true;
   return std::make_unique<SampleSummary>(key_, std::move(cached_window_));
+}
+
+bool WindowedSummarizer::Reset(std::uint64_t seed) {
+  for (Slot& slot : ring_) {
+    slot.epoch = kNoEpoch;
+    slot.sample = Sample();
+  }
+  cur_items_.clear();
+  now_ = 0.0;
+  cur_epoch_ = 0;
+  cached_window_ = Sample();
+  cache_valid_ = false;
+  finalized_ = false;
+  poisoned_ = false;
+  merges_ = 0;
+  late_items_ = 0;
+  dropped_items_ = 0;
+  recycled_builders_ = 0;
+  stats_ = IngestStats{};
+  effective_s_ = cfg_.s;
+  cfg_.seed = seed;
+  bucket_seed_base_ = Mix64(seed ^ kBucketSeedTag);
+  merge_seed_base_ = Mix64(seed ^ kMergeSeedTag);
+  // Free-list builders survive the reset: AcquireInner reseeds them per
+  // bucket anyway, and a stale effective_s_ is caught by the
+  // free_builder_s_ check there.
+  return true;
 }
 
 std::unique_ptr<Summarizer> MakeWindowedSummarizer(

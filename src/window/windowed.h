@@ -101,6 +101,14 @@ class WindowedSummarizer : public Summarizer {
   /// can sit under the sharded wrapper (and under another merge).
   bool Mergeable() const override { return true; }
 
+  /// Full recovery, including from the poisoned and finalized states:
+  /// empties the ring and the current bucket, rewinds the clock to 0,
+  /// clears every counter, and re-derives the bucket/merge seed streams
+  /// from `seed`. A reset builder is bit-identical to a freshly
+  /// constructed one with cfg.seed = seed. Always recyclable (the ring
+  /// state is plain buffers; inner builders are re-acquired per bucket).
+  bool Reset(std::uint64_t seed) override;
+
   WindowedSummarizer* AsWindowed() override { return this; }
 
   // --- Timestamped surface ---
@@ -142,6 +150,14 @@ class WindowedSummarizer : public Summarizer {
   std::size_t dropped_items() const { return dropped_items_; }
   /// Builders reused via the Reset capability instead of reconstruction.
   std::size_t recycled_builders() const { return recycled_builders_; }
+  /// True once a bucket seal or window merge failed mid-update: the ring
+  /// may be inconsistent, so every call but Reset throws. Reset(seed)
+  /// recovers.
+  bool poisoned() const { return poisoned_; }
+  /// The sample size buckets are currently built at: cfg.s until the
+  /// max_bytes budget forces stepwise halvings (IngestStats::degradations
+  /// counts them).
+  double effective_s() const { return effective_s_; }
 
  private:
   struct Slot {
@@ -165,6 +181,10 @@ class WindowedSummarizer : public Summarizer {
   void SealCurrentBucket(std::int64_t next_epoch);
   /// Retires every slot whose epoch has left the window of `epoch`.
   void RetireExpired(std::int64_t current_epoch);
+  /// Applies the max_bytes budget before a bucket build: halves
+  /// effective_s_ until the estimated retained bytes of the live ring fit
+  /// (floor 1), counting each step in IngestStats::degradations.
+  void MaybeDegrade();
   void InvalidateCache() { cache_valid_ = false; }
   const Sample& MergedWindow();
 
@@ -187,12 +207,18 @@ class WindowedSummarizer : public Summarizer {
   // immediately instead of cached.
   bool inner_recyclable_ = false;
   std::vector<std::unique_ptr<Summarizer>> free_builders_;
+  /// The s the free-list builders were constructed with: a budget
+  /// degradation changes effective_s_, and builders cannot resize through
+  /// Reset, so a mismatch invalidates the whole free list.
+  double free_builder_s_ = 0.0;
   MergeScratch merge_scratch_;
   std::vector<const Sample*> merge_parts_;
 
   Sample cached_window_;
   bool cache_valid_ = false;
   bool finalized_ = false;
+  bool poisoned_ = false;
+  double effective_s_ = 0.0;
 
   std::size_t merges_ = 0;
   std::size_t late_items_ = 0;

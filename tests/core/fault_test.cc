@@ -1,0 +1,167 @@
+#include "core/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace sas {
+namespace {
+
+TEST(FaultInjector, StartsDisarmedAndCostsNothing) {
+  FaultInjector fi;
+  EXPECT_FALSE(fi.armed());
+  // Hit/Poll on a disarmed injector are no-ops (the FaultPoint probe skips
+  // them entirely, but calling directly must also be safe).
+  fi.Hit("shard.worker.batch");
+  EXPECT_FALSE(fi.Poll("shard.worker.batch"));
+  EXPECT_EQ(fi.fired(), 0u);
+}
+
+TEST(FaultInjector, FailNthFiresExactlyOnce) {
+  FaultInjector fi;
+  fi.Configure("site.a=fail@3");
+  EXPECT_TRUE(fi.armed());
+  fi.Hit("site.a");  // hit 1
+  fi.Hit("site.a");  // hit 2
+  try {
+    fi.Hit("site.a");  // hit 3: due
+    FAIL() << "expected FaultInjectionError on the 3rd hit";
+  } catch (const FaultInjectionError& e) {
+    EXPECT_EQ(e.site(), "site.a");
+    EXPECT_EQ(e.hit(), 3u);
+    EXPECT_NE(std::string(e.what()).find("site.a"), std::string::npos);
+  }
+  // One-shot without /K: hit 4 passes.
+  fi.Hit("site.a");
+  EXPECT_EQ(fi.HitCount("site.a"), 4u);
+  EXPECT_EQ(fi.fired(), 1u);
+}
+
+TEST(FaultInjector, FailEveryKFiresPeriodically) {
+  FaultInjector fi;
+  fi.Configure("site.b=fail@2/3");
+  // Due on hits 2, 5, 8, ...
+  int thrown = 0;
+  for (int n = 1; n <= 9; ++n) {
+    if (fi.Poll("site.b")) ++thrown;
+  }
+  EXPECT_EQ(thrown, 3);
+  EXPECT_EQ(fi.fired(), 3u);
+}
+
+TEST(FaultInjector, FailEveryHitIsTheChaosWorkhorse) {
+  FaultInjector fi;
+  fi.Configure("site.c=fail@1/1");
+  for (int n = 0; n < 5; ++n) EXPECT_TRUE(fi.Poll("site.c"));
+}
+
+TEST(FaultInjector, LaneNarrowsARuleAndCountsPerRule) {
+  FaultInjector fi;
+  fi.Configure("shard.worker.batch#1=fail@1/1");
+  // Lane 0 and the lane-less probe never match the lane-1 rule.
+  EXPECT_FALSE(fi.Poll("shard.worker.batch", 0));
+  EXPECT_FALSE(fi.Poll("shard.worker.batch"));
+  EXPECT_TRUE(fi.Poll("shard.worker.batch", 1));
+  // Hits are counted per matching rule: only the lane-1 probe landed.
+  EXPECT_EQ(fi.HitCount("shard.worker.batch"), 1u);
+}
+
+TEST(FaultInjector, LanelessRuleMatchesEveryLane) {
+  FaultInjector fi;
+  fi.Configure("shard.queue.push=fail@2");
+  EXPECT_FALSE(fi.Poll("shard.queue.push", 0));  // hit 1
+  EXPECT_TRUE(fi.Poll("shard.queue.push", 7));   // hit 2, any lane
+}
+
+TEST(FaultInjector, DelayRuleSleepsInsteadOfThrowing) {
+  FaultInjector fi;
+  fi.Configure("site.d=delay@1/1:1");
+  // A delay rule is never "due to fail": Hit does not throw and Poll
+  // reports false, but the firing is still counted.
+  fi.Hit("site.d");
+  EXPECT_FALSE(fi.Poll("site.d"));
+  EXPECT_EQ(fi.fired(), 2u);
+}
+
+TEST(FaultInjector, MultipleClausesAreIndependent) {
+  FaultInjector fi;
+  fi.Configure("site.e=fail@1;site.f=fail@2;site.e=delay@1/1:1");
+  EXPECT_TRUE(fi.Poll("site.e"));   // fail@1 due (delay also fired)
+  EXPECT_FALSE(fi.Poll("site.f"));  // hit 1 of 2
+  EXPECT_TRUE(fi.Poll("site.f"));   // hit 2: due
+  EXPECT_EQ(fi.HitCount("site.e"), 2u);  // two rules match site.e per probe
+}
+
+TEST(FaultInjector, ClearDisarmsAndDropsCounters) {
+  FaultInjector fi;
+  fi.Configure("site.g=fail@1/1");
+  EXPECT_TRUE(fi.Poll("site.g"));
+  fi.Clear();
+  EXPECT_FALSE(fi.armed());
+  EXPECT_FALSE(fi.Poll("site.g"));
+  EXPECT_EQ(fi.HitCount("site.g"), 0u);
+  EXPECT_EQ(fi.fired(), 0u);
+}
+
+TEST(FaultInjector, ReconfigureReplacesTheScheduleAndRestartsCounting) {
+  FaultInjector fi;
+  fi.Configure("site.h=fail@2");
+  fi.Hit("site.h");  // hit 1
+  fi.Configure("site.h=fail@2");
+  fi.Hit("site.h");  // counting restarted: hit 1 again
+  EXPECT_TRUE(fi.Poll("site.h"));
+}
+
+TEST(FaultInjector, EmptySpecIsClear) {
+  FaultInjector fi;
+  fi.Configure("site.i=fail@1/1");
+  fi.Configure("");
+  EXPECT_FALSE(fi.armed());
+}
+
+TEST(FaultInjector, MalformedSpecsThrowNamingTheClause) {
+  FaultInjector fi;
+  const char* bad[] = {
+      "no-equals-sign",            // missing '='
+      "site=explode@1",            // unknown verb
+      "site=fail",                 // missing '@N'
+      "site=fail@",                // empty count
+      "site=fail@zero",            // non-numeric count
+      "site=fail@0",               // counts are 1-based
+      "site=fail@1/0",             // period must be >= 1
+      "site=delay@1",              // delay missing ':USEC'
+      "site=delay@1:",             // empty delay
+      "site#=fail@1",              // empty lane
+      "site#x=fail@1",             // non-numeric lane
+      "=fail@1",                   // empty site
+      "site=fail@1:10",            // ':USEC' is delay-only
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW(fi.Configure(spec), std::invalid_argument) << spec;
+    // A failed Configure must not leave a half-armed injector behind.
+    EXPECT_FALSE(fi.armed()) << spec;
+  }
+}
+
+TEST(FaultInjector, FaultPointRoutesToLocalInjectorWhenGiven) {
+  FaultInjector local;
+  local.Configure("site.j=fail@1/1");
+  EXPECT_THROW(FaultPoint(&local, "site.j"), FaultInjectionError);
+}
+
+TEST(FaultInjector, FaultPointFallsBackToGlobal) {
+  // The global injector arms from SAS_FAULTS on first use; under the test
+  // harness it is disarmed, and configuring it here must reach the
+  // null-local probe. Cleared afterwards so no schedule leaks into other
+  // tests in this binary.
+  FaultInjector& g = FaultInjector::Global();
+  EXPECT_EQ(&g, &FaultInjector::Global());  // stable singleton
+  g.Configure("site.k=fail@1");
+  EXPECT_THROW(FaultPoint(nullptr, "site.k"), FaultInjectionError);
+  g.Clear();
+  FaultPoint(nullptr, "site.k");  // disarmed again: no-op
+}
+
+}  // namespace
+}  // namespace sas

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "core/fault.h"
+
 namespace sas {
 namespace {
 
@@ -90,6 +92,77 @@ TEST(TraceReader, EmptyStream) {
   EXPECT_FALSE(reader.NextBatch(&batch));
   EXPECT_TRUE(batch.empty());  // cleared even at EOF
   EXPECT_EQ(reader.records_read(), 0u);
+}
+
+TEST(TraceReader, StatsClassifyEveryMalformedRowClass) {
+  // One row per malformed/non-finite class, bracketed by good rows (the
+  // leading good row claims the silent header-skip slot, so every bad row
+  // below is counted). lines_skipped() stays the sum of both counters.
+  const std::string csv =
+      "1.0,1,2.0\n"        // good
+      "2.0,2\n"            // too few fields: malformed
+      "x,3,1.0\n"          // unparseable timestamp: malformed
+      "3.0,-4,1.0\n"       // negative key: malformed
+      "4.0,5,1.0,zz\n"     // unparseable x coordinate: malformed
+      "5.0,6,inf\n"        // infinite weight: non-finite
+      "6.0,7,nan\n"        // NaN weight: non-finite
+      "inf,8,1.0\n"        // infinite timestamp: non-finite
+      "7.0,9,3.0\n";       // good
+  std::istringstream in(csv);
+  TraceReader reader(in);
+  std::vector<TimedItem> batch;
+  std::vector<TimedItem> all;
+  while (reader.NextBatch(&batch)) {
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(reader.stats().parsed, 2u);
+  EXPECT_EQ(reader.stats().malformed, 4u);
+  EXPECT_EQ(reader.stats().nonfinite, 3u);
+  EXPECT_EQ(reader.records_read(), 2u);
+  EXPECT_EQ(reader.lines_skipped(), 7u);
+}
+
+TEST(TraceReader, HeaderLineIsNotCountedAgainstStats) {
+  std::istringstream in("ts,key,weight\n1.0,1,2.0\n");
+  TraceReader reader(in);
+  std::vector<TimedItem> batch;
+  ASSERT_TRUE(reader.NextBatch(&batch));
+  EXPECT_EQ(reader.stats().parsed, 1u);
+  EXPECT_EQ(reader.stats().malformed, 0u);
+  EXPECT_EQ(reader.stats().nonfinite, 0u);
+}
+
+TEST(TraceReader, TraceRowFaultCorruptsGoodRowsDeterministically) {
+  // The trace.row fault site drops otherwise-good rows as if mangled on
+  // the wire: schedule fail@2/2 corrupts every even good row. Bad rows
+  // never reach the site (only parsed rows count as hits).
+  std::string csv;
+  for (int i = 0; i < 6; ++i) {
+    csv += std::to_string(i) + ",1,1.0\n";
+    csv += "bad,row\n";
+  }
+  FaultInjector faults;
+  faults.Configure("trace.row=fail@2/2");
+  TraceReader::Options opt;
+  opt.faults = &faults;
+  std::istringstream in(csv);
+  TraceReader reader(in, opt);
+  std::vector<TimedItem> batch;
+  std::vector<TimedItem> all;
+  while (reader.NextBatch(&batch)) {
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  // Good rows 2, 4, 6 corrupted; 1, 3, 5 survive. The leading good row
+  // claimed the header-skip slot, so all six "bad,row" lines count as
+  // malformed, plus the three corrupted rows.
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_DOUBLE_EQ(all[0].ts, 0.0);
+  EXPECT_DOUBLE_EQ(all[1].ts, 2.0);
+  EXPECT_DOUBLE_EQ(all[2].ts, 4.0);
+  EXPECT_EQ(reader.stats().parsed, 3u);
+  EXPECT_EQ(reader.stats().malformed, 9u);
+  EXPECT_EQ(faults.HitCount("trace.row"), 6u);
 }
 
 TEST(TraceReader, SpacePaddingAndCustomDelimiter) {

@@ -1,6 +1,6 @@
 // Seeded determinism violations, one per line, each asserted by the
-// self-test: raw-rand, wall-clock, unforked-rng, and two malformed allow
-// escapes (missing reason; unknown rule).
+// self-test: raw-rand, wall-clock, unforked-rng, a bare catch-all, and two
+// malformed allow escapes (missing reason; unknown rule).
 #include <chrono>
 #include <cstdlib>
 
@@ -20,6 +20,14 @@ long WallClock() {
 unsigned long SeedlessRng() {
   Rng generator;
   return generator.state;
+}
+
+int SwallowEverything() {
+  try {
+    return RawRand();
+  } catch (...) {
+    return -1;
+  }
 }
 
 // sas-lint: allow(raw-rand)

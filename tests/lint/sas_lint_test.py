@@ -54,7 +54,7 @@ class SasLintTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1, proc.stdout)
         for rule in ("key-registered", "key-documented", "raw-rand",
                      "wall-clock", "unforked-rng", "reinterpret-cast",
-                     "simd-intrinsics", "allow-syntax",
+                     "simd-intrinsics", "catch-all", "allow-syntax",
                      "header-self-contained", "cmake-sources"):
             self.assertIn(f"[{rule}]", proc.stdout,
                           f"rule {rule} did not fire:\n{proc.stdout}")

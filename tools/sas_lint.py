@@ -33,6 +33,11 @@ Rules (each violation prints "path:line: [rule] message"; exit 1 on any):
                          calls the dispatched kernels of core/simd.h, so
                          the scalar build stays portable and the
                          SIMD surface auditable.
+  catch-all              no bare `catch (...)` under src/ outside audited
+                         sites — swallowing unknown exceptions hides
+                         poisoned state; the audited sites (worker-thread
+                         boundaries, poison-then-rethrow markers) carry a
+                         reasoned `// sas-lint: allow(catch-all): <why>`.
   allow-syntax           every `// sas-lint: allow(<rule>)` escape names a
                          known rule and carries a `: reason` string.
   header-self-contained  every header under src/ compiles on its own
@@ -87,6 +92,7 @@ RULES = (
     "unforked-rng",
     "reinterpret-cast",
     "simd-intrinsics",
+    "catch-all",
     "allow-syntax",
     "header-self-contained",
     "cmake-sources",
@@ -109,6 +115,8 @@ RE_REINTERPRET = re.compile(r"\breinterpret_cast\b")
 # a __m128/__m256/__m512 vector type.
 RE_SIMD = re.compile(
     r"immintrin\.h|\b_mm\w*_\w+\s*\(|\b__m(?:64|128|256|512)[a-z]*\b")
+# Bare catch-all handler `catch (...)`.
+RE_CATCH_ALL = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
 
 RE_ALLOW = re.compile(
     r"//\s*sas-lint:\s*allow\(([^)\s]*)\)(?:\s*:\s*(\S.*))?")
@@ -225,6 +233,7 @@ class Linter:
                 rules_here.append(("reinterpret-cast", RE_REINTERPRET))
             if not relu.startswith(SIMD_HOME_PREFIX):
                 rules_here.append(("simd-intrinsics", RE_SIMD))
+            rules_here.append(("catch-all", RE_CATCH_ALL))
 
             for idx, line in enumerate(stripped, 1):
                 for rule, pattern in rules_here:
@@ -244,6 +253,11 @@ class Linter:
                                f"({SIMD_HOME_PREFIX}*) — add a dispatched "
                                "kernel to core/simd.h instead, or carry a "
                                f"reasoned allow: {snippet}")
+                    elif rule == "catch-all":
+                        msg = ("bare catch (...) outside an audited site — "
+                               "catch the concrete exception types, or "
+                               "carry '// sas-lint: allow(catch-all): "
+                               f"<why>' on an audited boundary: {snippet}")
                     elif rule == "unforked-rng":
                         msg = ("seedless Rng in the deterministic core — "
                                "seed from config or derive via "
@@ -400,8 +414,8 @@ def main():
             print(f"{rel.replace(os.sep, '/')}:{lineno}: [{rule}] {msg}")
         print(f"FAIL: {len(linter.violations)} sas-lint violation(s)")
         return 1
-    print("OK: sas-lint clean "
-          f"({'9' if args.no_headers else '10'} rules over {args.root})")
+    num_rules = len(RULES) - (1 if args.no_headers else 0)
+    print(f"OK: sas-lint clean ({num_rules} rules over {args.root})")
     return 0
 
 
