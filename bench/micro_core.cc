@@ -22,6 +22,7 @@
 #include "core/pair_aggregate.h"
 #include "core/random.h"
 #include "core/simd.h"
+#include "core/telemetry.h"
 #include "sampling/stream_varopt.h"
 
 // Global allocation counter: every operator new in the process bumps it, so
@@ -341,6 +342,55 @@ void BM_ProductRebuild(benchmark::State& state) {
   SummarizerRebuildLoop(state, ProductSummarizeInto);
 }
 BENCHMARK(BM_ProductRebuild);
+
+void BM_CounterInc(benchmark::State& state) {
+  // Armed-telemetry cost of one counter bump: a relaxed fetch_add on a
+  // cache-line-padded atomic, the per-event price every instrumented site
+  // pays when telemetry is on.
+  const bool was_enabled = telemetry::Enabled();
+  telemetry::SetEnabled(true);
+  telemetry::Counter* c = telemetry::GetCounter("bench.counter");
+  for (auto _ : state) {
+    c->Inc();
+  }
+  benchmark::DoNotOptimize(c->value());
+  telemetry::SetEnabled(was_enabled);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_TelemetrySpan(benchmark::State& state) {
+  // Full armed span lifecycle: two monotonic clock reads, a histogram
+  // Observe, and a trace-ring append — the per-span cost of instrumenting
+  // a seal/merge/query section.
+  const bool was_enabled = telemetry::Enabled();
+  telemetry::SetEnabled(true);
+  telemetry::Histogram* h = telemetry::GetHistogram("bench.span_ns");
+  for (auto _ : state) {
+    telemetry::Span span("bench.span", h);
+    benchmark::DoNotOptimize(&span);
+  }
+  telemetry::SetEnabled(was_enabled);
+  telemetry::ClearTraceEvents();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetrySpan);
+
+void BM_TelemetrySpanDisarmed(benchmark::State& state) {
+  // The same span with telemetry globally off: one relaxed load and a
+  // branch, the whole per-site cost of a disarmed build (the zero-overhead
+  // claim in docs/observability.md).
+  const bool was_enabled = telemetry::Enabled();
+  telemetry::SetEnabled(false);
+  telemetry::Histogram* h = telemetry::GetHistogram("bench.span_ns");
+  for (auto _ : state) {
+    telemetry::Span span("bench.span", h);
+    benchmark::DoNotOptimize(&span);
+  }
+  telemetry::SetEnabled(was_enabled);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetrySpanDisarmed);
 
 void BM_RegistryMake(benchmark::State& state) {
   // Per-build overhead of the registry factory path (lookup + validation +

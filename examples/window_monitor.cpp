@@ -14,10 +14,18 @@
 // Exits non-zero if any checkpoint total drifts.
 //
 //   $ ./window_monitor [pairs=30000] [s=1500] [hours=6] [trace=path.csv]
+//                      [--telemetry[=json|prom|trace]]
 //
 // With trace=..., the CSV file is replayed instead of the synthetic trace
 // (columns: timestamp,key,weight[,x[,y]]; the exact-total check is applied
 // with the same window rule).
+//
+// --telemetry arms the process metrics registry (core/telemetry.h) and
+// prints a final snapshot: a human-readable table by default, Prometheus
+// text with =prom, the sas_stats JSON with =json; =trace additionally
+// writes the recorded spans to window_monitor_trace.json in Chrome
+// trace-event format (load in chrome://tracing or pipe the JSON through
+// tools/sas_stats.py).
 
 #include <algorithm>
 #include <cmath>
@@ -29,6 +37,7 @@
 #include <vector>
 
 #include "api/registry.h"
+#include "core/telemetry.h"
 #include "data/network_gen.h"
 #include "data/trace_reader.h"
 #include "window/windowed.h"
@@ -102,12 +111,27 @@ int main(int argc, char** argv) {
   std::size_t pairs = 30000, s = 1500;
   double hours = 6.0;
   std::string trace_path;
+  bool telemetry_on = false;
+  std::string telemetry_format = "table";  // table | json | prom | trace
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "pairs=", 6) == 0) pairs = std::atol(argv[i] + 6);
     if (std::strncmp(argv[i], "s=", 2) == 0) s = std::atol(argv[i] + 2);
     if (std::strncmp(argv[i], "hours=", 6) == 0) hours = std::atof(argv[i] + 6);
     if (std::strncmp(argv[i], "trace=", 6) == 0) trace_path = argv[i] + 6;
+    if (std::strcmp(argv[i], "--telemetry") == 0) telemetry_on = true;
+    if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
+      telemetry_on = true;
+      telemetry_format = argv[i] + 12;
+      if (telemetry_format != "json" && telemetry_format != "prom" &&
+          telemetry_format != "trace") {
+        std::fprintf(stderr,
+                     "unknown --telemetry format \"%s\" (json|prom|trace)\n",
+                     telemetry_format.c_str());
+        return 2;
+      }
+    }
   }
+  if (telemetry_on) telemetry::SetEnabled(true);
   const double total_time = hours * kHour;
 
   // Assemble the trace stream: a file when given, else the synthetic CSV.
@@ -198,6 +222,44 @@ int main(int argc, char** argv) {
   const IngestStats& ingest = builder->Describe();
   std::printf("\ntrace: %zu rows parsed, %zu malformed, %zu non-finite\n",
               ts.parsed, ts.malformed, ts.nonfinite);
+  if (telemetry_on) {
+    const telemetry::TelemetrySnapshot snap = builder->DescribeTelemetry();
+    if (telemetry_format == "prom") {
+      std::printf("\n%s", telemetry::ToPrometheus(snap).c_str());
+    } else if (telemetry_format == "json") {
+      std::printf("\n%s\n", telemetry::ToJson(snap).c_str());
+    } else {
+      std::printf("\ntelemetry snapshot:\n");
+      for (const auto& c : snap.counters) {
+        if (c.value > 0) {
+          std::printf("  %-34s %12llu\n", c.name.c_str(),
+                      static_cast<unsigned long long>(c.value));
+        }
+      }
+      for (const auto& g : snap.gauges) {
+        if (g.value != 0) {
+          std::printf("  %-34s %12lld\n", g.name.c_str(),
+                      static_cast<long long>(g.value));
+        }
+      }
+      std::printf("  %-34s %8s %10s %10s %10s %10s\n", "histogram", "count",
+                  "p50", "p90", "p99", "max");
+      for (const auto& h : snap.histograms) {
+        if (h.count == 0) continue;
+        std::printf("  %-34s %8llu %10.0f %10.0f %10.0f %10llu\n",
+                    h.name.c_str(),
+                    static_cast<unsigned long long>(h.count), h.Quantile(0.5),
+                    h.Quantile(0.9), h.Quantile(0.99),
+                    static_cast<unsigned long long>(h.max));
+      }
+      if (telemetry_format == "trace") {
+        const char* path = "window_monitor_trace.json";
+        std::ofstream trace_out(path);
+        trace_out << telemetry::ChromeTraceJson();
+        std::printf("\nwrote span trace to %s (chrome://tracing)\n", path);
+      }
+    }
+  }
   std::printf("ingest: %llu accepted, %llu quarantined (weight), "
               "%llu quarantined (time), %llu budget degradations\n",
               static_cast<unsigned long long>(ingest.accepted),

@@ -48,7 +48,7 @@ class BufferingSummarizer : public Summarizer {
   }
   void AddBatch(std::span<const WeightedKey> items) override {
     if (AllFinite(items)) {
-      stats_.accepted += items.size();
+      CountAccepted(items.size());
       items_.insert(items_.end(), items.begin(), items.end());
       return;
     }
@@ -303,7 +303,7 @@ class TwoPassProductBuilder : public Summarizer {
 
   void AddBatch(std::span<const WeightedKey> items) override {
     if (AllFinite(items)) {
-      stats_.accepted += items.size();
+      CountAccepted(items.size());
       for (const WeightedKey& it : items) sampler_.Pass1(it);
       buffer_.insert(buffer_.end(), items.begin(), items.end());
       return;
@@ -397,7 +397,7 @@ class OblivBuilder : public Summarizer {
   /// validation only when the batch pre-scan finds an invalid weight.
   void AddBatch(std::span<const WeightedKey> items) override {
     if (AllFinite(items)) {
-      stats_.accepted += items.size();
+      CountAccepted(items.size());
       sketch_.PushBatch(items);
       return;
     }
@@ -455,7 +455,7 @@ class SketchBuilder : public Summarizer {
 
   void AddBatch(std::span<const WeightedKey> items) override {
     if (AllFinite(items)) {
-      stats_.accepted += items.size();
+      CountAccepted(items.size());
       for (const WeightedKey& it : items) sketch_.Update(it.pt, it.weight);
       return;
     }

@@ -12,6 +12,7 @@
 #include "core/fault.h"
 #include "core/merge.h"
 #include "core/random.h"
+#include "core/telemetry.h"
 
 namespace sas {
 
@@ -151,6 +152,12 @@ struct ShardedSummarizer::Shard {
   // Worker side.
   std::thread worker;
   std::unique_ptr<RangeSummary> result;
+
+  // Telemetry instruments for this shard lane (resolved at construction;
+  // updates are guarded by the builder's TelemetryOn()).
+  telemetry::Gauge* queue_depth = nullptr;
+  telemetry::Counter* batches = nullptr;
+  telemetry::Counter* items = nullptr;
 };
 
 ShardedSummarizer::ShardedSummarizer(std::string key,
@@ -184,10 +191,14 @@ ShardedSummarizer::ShardedSummarizer(std::string key,
                    degrade_steps_);
     }
   }
-  stats_.degradations = degrade_steps_;
+  CountDegradation(degrade_steps_);
   // Cached salt of the ShardIndex partition hash (see its doc for why the
   // partition is seed-salted).
   salt_ = Mix64(cfg.seed ^ kPartitionSaltTag);
+  // Cold registry lookups; the hot paths only touch the cached pointers.
+  backpressure_wait_ns_ =
+      telemetry::GetHistogram("sas.shard.backpressure_wait_ns");
+  merge_ns_ = telemetry::GetHistogram("sas.shard.merge_ns");
   shards_.reserve(static_cast<std::size_t>(spec.shards));
   for (int i = 0; i < spec.shards; ++i) {
     SummarizerConfig inner_cfg = cfg;
@@ -195,6 +206,10 @@ ShardedSummarizer::ShardedSummarizer(std::string key,
     inner_cfg.s = inner_s;
     auto sh = std::make_unique<Shard>();
     sh->index = i;
+    const std::string lane = std::to_string(i);
+    sh->queue_depth = telemetry::GetGauge("sas.shard.queue_depth." + lane);
+    sh->batches = telemetry::GetCounter("sas.shard.batches." + lane);
+    sh->items = telemetry::GetCounter("sas.shard.items." + lane);
     sh->inner = MakeSummarizer(spec.inner, inner_cfg);
     if (i == 0 && !sh->inner->Mergeable()) {
       BadKey(key_, "inner method \"" + spec.inner +
@@ -294,14 +309,27 @@ void ShardedSummarizer::Enqueue(Shard& sh, Batch batch) {
     FaultPoint(cfg_.faults.get(), fault_sites::kShardQueuePush, sh.index);
   }
   std::unique_lock<std::mutex> lock(sh.mu);
-  sh.can_push.wait(lock, [&] {
+  const auto can_proceed = [&] {
     return sh.queue.size() < kMaxQueueDepth || sh.error != nullptr ||
            sh.closed;
-  });
+  };
+  // Back-pressure visibility: when the producer actually blocks on a full
+  // queue, the wall time spent waiting lands in the wait histogram —
+  // unblocked pushes record nothing, so the metric measures stalls only.
+  if (!can_proceed() && TelemetryOn()) {
+    const std::uint64_t t0 = telemetry::NowNs();
+    sh.can_push.wait(lock, can_proceed);
+    backpressure_wait_ns_->Observe(telemetry::NowNs() - t0);
+  } else {
+    sh.can_push.wait(lock, can_proceed);
+  }
   // A dead worker (error) or a closed queue drains nothing; drop the batch
   // rather than blocking forever — Finalize rethrows worker errors.
   if (sh.error != nullptr || sh.closed) return;
   sh.queue.push_back(std::move(batch));
+  if (TelemetryOn()) {
+    sh.queue_depth->Set(static_cast<std::int64_t>(sh.queue.size()));
+  }
   sh.can_pop.notify_one();
 }
 
@@ -316,10 +344,17 @@ void ShardedSummarizer::WorkerLoop(Shard* sh) {
         if (sh->queue.empty()) break;  // closed and fully drained
         batch = std::move(sh->queue.front());
         sh->queue.pop_front();
+        if (TelemetryOn()) {
+          sh->queue_depth->Set(static_cast<std::int64_t>(sh->queue.size()));
+        }
         sh->can_push.notify_one();
       }
       FaultPoint(cfg_.faults.get(), fault_sites::kShardWorkerBatch,
                  sh->index);
+      if (TelemetryOn()) {
+        sh->batches->Inc();
+        sh->items->Inc(batch.size());
+      }
       if (!batch.items.empty()) sh->inner->AddBatch(batch.items);
       const std::size_t ud = static_cast<std::size_t>(batch.dims);
       for (std::size_t j = 0; j < batch.coord_ids.size(); ++j) {
@@ -403,6 +438,7 @@ std::unique_ptr<RangeSummary> ShardedSummarizer::Finalize() {
   }
 
   Rng merge_rng(ForkSeed(cfg_.seed, shards_.size()));
+  telemetry::Span merge_span("shard.merge", merge_ns_, TelemetryOn());
   Sample merged =
       MergeAllSamples(parts, static_cast<std::size_t>(cfg_.s), &merge_rng);
   return std::make_unique<SampleSummary>(key_, std::move(merged));

@@ -41,6 +41,10 @@
 
 namespace sas {
 
+namespace telemetry {
+class Histogram;
+}  // namespace telemetry
+
 /// One failed shard, as reported by ShardedIngestError: the shard index and
 /// the worker's error message (already prefixed with the shard index and
 /// inner key).
@@ -169,6 +173,12 @@ class ShardedSummarizer : public Summarizer {
   bool joined_ = false;
   std::uint32_t degrade_steps_ = 0;  // max_bytes halvings of the inner s
   std::atomic<bool> poisoned_{false};
+
+  // Telemetry instruments (core/telemetry.h), resolved once at
+  // construction (registry pointers are process-stable). Per-shard
+  // instruments live on the Shard structs.
+  telemetry::Histogram* backpressure_wait_ns_ = nullptr;
+  telemetry::Histogram* merge_ns_ = nullptr;
 };
 
 }  // namespace sas

@@ -4,7 +4,61 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/telemetry.h"
+
 namespace sas {
+
+namespace {
+
+// The process-wide ingest-boundary counters every builder mirrors its
+// IngestStats into. Resolved once (cold registry lookup), shared across
+// builders — the registry aggregates where Describe() stays per-builder.
+struct IngestInstruments {
+  telemetry::Counter* accepted;
+  telemetry::Counter* rejected_weight;
+  telemetry::Counter* rejected_coord;
+  telemetry::Counter* degradations;
+};
+
+const IngestInstruments& IngestCounters() {
+  static const IngestInstruments instruments = {
+      telemetry::GetCounter("sas.ingest.accepted"),
+      telemetry::GetCounter("sas.ingest.rejected_weight"),
+      telemetry::GetCounter("sas.ingest.rejected_coord"),
+      telemetry::GetCounter("sas.ingest.degradations"),
+  };
+  return instruments;
+}
+
+}  // namespace
+
+bool Summarizer::TelemetryOn() const {
+  return cfg_.telemetry && telemetry::Enabled();
+}
+
+void Summarizer::CountAccepted(std::uint64_t n) {
+  stats_.accepted += n;
+  if (TelemetryOn()) IngestCounters().accepted->Inc(n);
+}
+
+void Summarizer::CountRejectedWeight(std::uint64_t n) {
+  stats_.rejected_weight += n;
+  if (TelemetryOn()) IngestCounters().rejected_weight->Inc(n);
+}
+
+void Summarizer::CountRejectedCoord(std::uint64_t n) {
+  stats_.rejected_coord += n;
+  if (TelemetryOn()) IngestCounters().rejected_coord->Inc(n);
+}
+
+void Summarizer::CountDegradation(std::uint64_t n) {
+  stats_.degradations += n;
+  if (TelemetryOn()) IngestCounters().degradations->Inc(n);
+}
+
+telemetry::TelemetrySnapshot Summarizer::DescribeTelemetry() const {
+  return telemetry::CaptureSnapshot(cfg_.faults.get());
+}
 
 void Summarizer::AddCoords(const Coord* /*coords*/, int /*dims*/,
                            Weight /*w*/) {
@@ -20,7 +74,7 @@ void Summarizer::AddCoordsKeyed(KeyId /*id*/, const Coord* coords, int dims,
 
 bool Summarizer::AdmitWeight(Weight w) {
   if (std::isfinite(w) && w >= 0.0) {
-    ++stats_.accepted;
+    CountAccepted();
     return true;
   }
   if (cfg_.ingest_policy == IngestPolicy::kStrict) {
@@ -28,7 +82,7 @@ bool Summarizer::AdmitWeight(Weight w) {
         "ingest rejected: weight must be finite and non-negative, got " +
         std::to_string(w));
   }
-  ++stats_.rejected_weight;
+  CountRejectedWeight();
   return false;
 }
 

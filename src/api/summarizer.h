@@ -43,6 +43,10 @@ class FaultInjector;
 class Hierarchy;
 class WindowedSummarizer;
 
+namespace telemetry {
+struct TelemetrySnapshot;
+}  // namespace telemetry
+
 /// What a builder does with an invalid record (non-finite or negative
 /// weight, non-finite coordinate or timestamp at the parse boundary).
 enum class IngestPolicy {
@@ -167,6 +171,14 @@ struct SummarizerConfig {
   /// SAS_FAULTS environment variable. Tests install their own injector
   /// here for isolation; composed wrappers propagate it to inner builders.
   std::shared_ptr<FaultInjector> faults;
+
+  /// Whether this builder participates in process telemetry
+  /// (core/telemetry.h) when it is armed globally. Telemetry is off until
+  /// armed via SetEnabled()/SAS_TELEMETRY regardless of this flag, so the
+  /// default build pays one relaxed atomic load per instrumented site;
+  /// setting this false opts a builder out even of an armed process
+  /// (wrappers propagate it to inner builders like `faults`).
+  bool telemetry = true;
 };
 
 /// Uniform builder: feed items with Add/AddBatch (or AddCoords for the
@@ -252,6 +264,12 @@ class Summarizer {
   /// another thread ingests is a race by the single-caller contract.
   const IngestStats& Describe() const { return stats_; }
 
+  /// Process-wide telemetry snapshot (core/telemetry.h) with this builder's
+  /// fault injector's per-site hit counters re-exported — the metrics
+  /// counterpart of Describe(). Unlike Describe(), the snapshot spans every
+  /// instrumented builder in the process, not just this one.
+  telemetry::TelemetrySnapshot DescribeTelemetry() const;
+
  protected:
   /// Validates one weight at the ingest boundary: accepts finite
   /// non-negative weights (counted in stats_.accepted) and handles the rest
@@ -266,6 +284,19 @@ class Summarizer {
   /// non-negative, so AddBatch overrides can skip per-record AdmitWeight
   /// calls (bulk-count into stats_.accepted) on clean input.
   static bool AllFinite(std::span<const WeightedKey> items);
+
+  /// True when this builder feeds the armed process telemetry: one relaxed
+  /// atomic load plus the config flag. The guard for every instrumented
+  /// site, in the style of FaultPoint.
+  bool TelemetryOn() const;
+
+  /// IngestStats bumpers that mirror into the process telemetry counters
+  /// (`sas.ingest.*`) when armed. Engines route every stats_ mutation
+  /// through these so Describe() and the registry can never disagree.
+  void CountAccepted(std::uint64_t n = 1);
+  void CountRejectedWeight(std::uint64_t n = 1);
+  void CountRejectedCoord(std::uint64_t n = 1);
+  void CountDegradation(std::uint64_t n = 1);
 
   SummarizerConfig cfg_;
   IngestStats stats_;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "core/telemetry.h"
+
 namespace sas {
 
 namespace {
@@ -20,6 +22,15 @@ SummaryInfo RangeSummary::Describe() const {
   info.family = "deterministic";
   info.size_elements = SizeInElements();
   return info;
+}
+
+Weight SampleSummary::EstimateQuery(const MultiRangeQuery& q) const {
+  // A finalized summary no longer carries its builder's config, so the
+  // query-path guard is the process arming alone (one relaxed load).
+  static telemetry::Histogram* const estimate_ns =
+      telemetry::GetHistogram("sas.query.estimate_ns");
+  telemetry::Span span("query.estimate", estimate_ns, telemetry::Enabled());
+  return sample_.EstimateQuery(q);
 }
 
 SummaryInfo SampleSummary::Describe() const {

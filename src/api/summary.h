@@ -71,9 +71,9 @@ class SampleSummary : public RangeSummary {
         sample_(std::move(sample)),
         probs_(std::move(probs)) {}
 
-  Weight EstimateQuery(const MultiRangeQuery& q) const override {
-    return sample_.EstimateQuery(q);
-  }
+  /// Out of line (api/summary.cc): the query latency feeds the
+  /// `sas.query.estimate_ns` telemetry histogram when armed.
+  Weight EstimateQuery(const MultiRangeQuery& q) const override;
   std::size_t SizeInElements() const override { return sample_.size(); }
   std::string Name() const override { return name_; }
   SummaryInfo Describe() const override;

@@ -1,5 +1,6 @@
 #include "core/fault.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <thread>
@@ -165,6 +166,24 @@ std::uint64_t FaultInjector::HitCount(const std::string& site) const {
     }
   }
   return total;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> FaultInjector::HitCounts()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& rule : rules_) {
+    const std::uint64_t hits = rule->hits.load(std::memory_order_relaxed);
+    auto it = std::find_if(out.begin(), out.end(), [&](const auto& p) {
+      return p.first == rule->site;
+    });
+    if (it == out.end()) {
+      out.emplace_back(rule->site, hits);
+    } else {
+      it->second += hits;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 FaultInjector& FaultInjector::Global() {

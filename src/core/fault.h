@@ -43,6 +43,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sas {
@@ -114,6 +115,12 @@ class FaultInjector {
 
   /// Total hits counted against rules matching `site` (all lanes).
   std::uint64_t HitCount(const std::string& site) const;
+
+  /// Per-site hit totals for every configured rule site (lanes aggregated),
+  /// sorted by site name. Telemetry re-exports these as
+  /// `sas.fault.hits.<site>` so chaos runs are observable through the same
+  /// snapshot as every other metric. Empty when disarmed.
+  std::vector<std::pair<std::string, std::uint64_t>> HitCounts() const;
 
   /// Total schedule firings (throws + delays) since Configure.
   std::uint64_t fired() const {

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "core/fault.h"
+#include "core/telemetry.h"
 
 namespace sas {
 
@@ -91,6 +92,9 @@ bool TraceReader::NextBatch(std::vector<TimedItem>* out) {
   out->clear();
   FaultInjector& faults =
       opt_.faults != nullptr ? *opt_.faults : FaultInjector::Global();
+  // Telemetry mirrors of TraceStats, bumped once per batch (not per row)
+  // from the stats deltas below, so an armed process pays no per-row cost.
+  const TraceStats before = stats_;
   std::string line;
   TimedItem record;
   while (out->size() < opt_.batch_size && std::getline(in_, line)) {
@@ -122,6 +126,17 @@ bool TraceReader::NextBatch(std::vector<TimedItem>* out) {
     } else {
       ++stats_.malformed;
     }
+  }
+  if (telemetry::Enabled()) {
+    static telemetry::Counter* const rows =
+        telemetry::GetCounter("sas.trace.rows");
+    static telemetry::Counter* const malformed =
+        telemetry::GetCounter("sas.trace.malformed");
+    static telemetry::Counter* const nonfinite =
+        telemetry::GetCounter("sas.trace.nonfinite");
+    rows->Inc(stats_.parsed - before.parsed);
+    malformed->Inc(stats_.malformed - before.malformed);
+    nonfinite->Inc(stats_.nonfinite - before.nonfinite);
   }
   return !out->empty();
 }

@@ -9,13 +9,14 @@
 #ifndef SAS_EVAL_HARNESS_H_
 #define SAS_EVAL_HARNESS_H_
 
-#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "api/registry.h"
 #include "api/summary.h"
+#include "core/telemetry.h"
 #include "data/dataset.h"
 #include "data/nd_gen.h"
 #include "data/query_gen.h"
@@ -23,18 +24,19 @@
 
 namespace sas {
 
-/// Simple wall-clock stopwatch.
+/// Simple wall-clock stopwatch over the telemetry monotonic clock (the
+/// library's single sanctioned ambient-clock call site — sas-lint rule
+/// timing-confined).
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
-  void Reset() { start_ = Clock::now(); }
+  Stopwatch() : start_ns_(telemetry::NowNs()) {}
+  void Reset() { start_ns_ = telemetry::NowNs(); }
   double Seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(telemetry::NowNs() - start_ns_) * 1e-9;
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::uint64_t start_ns_;
 };
 
 /// A summary plus how long it took to build.

@@ -8,6 +8,7 @@
 #include "api/keys.h"
 #include "api/registry.h"
 #include "core/fault.h"
+#include "core/telemetry.h"
 
 namespace sas {
 
@@ -136,6 +137,14 @@ WindowedSummarizer::WindowedSummarizer(std::string key,
   effective_s_ = cfg.s;
   free_builder_s_ = cfg.s;
   ring_.resize(static_cast<std::size_t>(spec.buckets));
+  // Cold registry lookups; the hot paths only touch the cached pointers.
+  seal_ns_ = telemetry::GetHistogram("sas.window.seal_ns");
+  bucket_items_ = telemetry::GetHistogram("sas.window.bucket_items");
+  merge_fanin_ = telemetry::GetHistogram("sas.window.merge_fanin");
+  query_ns_ = telemetry::GetHistogram("sas.window.query_ns");
+  expired_buckets_ = telemetry::GetCounter("sas.window.expired_buckets");
+  cache_hits_ = telemetry::GetCounter("sas.window.cache_hits");
+  cache_misses_ = telemetry::GetCounter("sas.window.cache_misses");
 
   // Probe the inner method eagerly: unknown keys, invalid configs, and
   // non-mergeable methods must throw at MakeSummarizer time, not at the
@@ -223,6 +232,10 @@ std::unique_ptr<Summarizer> WindowedSummarizer::AcquireInner(
   // The wrapper already budgets the whole ring; the inner build must not
   // degrade again on its own.
   inner_cfg.max_bytes = 0;
+  // Items reaching a bucket builder were already admitted (and counted into
+  // telemetry) at this wrapper's ingest boundary; a telemetry-on inner
+  // builder would mirror every item into sas.ingest.* a second time.
+  inner_cfg.telemetry = false;
   return MakeSummarizer(inner_key_, inner_cfg);
 }
 
@@ -247,7 +260,7 @@ void WindowedSummarizer::MaybeDegrade() {
   const double before = effective_s_;
   while (estimate(effective_s_) > cfg_.max_bytes && effective_s_ >= 2.0) {
     effective_s_ = effective_s_ / 2.0;
-    ++stats_.degradations;
+    CountDegradation();
   }
   if (effective_s_ != before) {
     std::fprintf(stderr,
@@ -289,6 +302,9 @@ void WindowedSummarizer::SealCurrentBucket(std::int64_t next_epoch) {
   try {
     FaultPoint(cfg_.faults.get(), fault_sites::kWindowBucketSeal,
                cur_epoch_);
+    const bool telemetry_on = TelemetryOn();
+    if (telemetry_on) bucket_items_->Observe(cur_items_.size());
+    telemetry::Span seal_span("window.seal", seal_ns_, telemetry_on);
     slot.epoch = cur_epoch_;
     slot.sample = BuildBucketSample(cur_epoch_, cur_items_);
     // sas-lint: allow(catch-all): a failed seal leaves the slot and buffer
@@ -302,12 +318,15 @@ void WindowedSummarizer::SealCurrentBucket(std::int64_t next_epoch) {
 }
 
 void WindowedSummarizer::RetireExpired(std::int64_t current_epoch) {
+  std::uint64_t expired = 0;
   for (Slot& slot : ring_) {
     if (slot.epoch != kNoEpoch && slot.epoch <= current_epoch - buckets()) {
       slot.epoch = kNoEpoch;
       slot.sample = Sample();  // frees the retired bucket's entries
+      ++expired;
     }
   }
+  if (expired > 0 && TelemetryOn()) expired_buckets_->Inc(expired);
 }
 
 void WindowedSummarizer::Advance(double now) {
@@ -337,7 +356,7 @@ void WindowedSummarizer::AddBatch(std::span<const WeightedKey> items) {
   RequireLive("AddBatch");
   if (items.empty()) return;
   if (AllFinite(items)) {
-    stats_.accepted += items.size();
+    CountAccepted(items.size());
     cur_items_.insert(cur_items_.end(), items.begin(), items.end());
   } else {
     for (const WeightedKey& it : items) {
@@ -353,7 +372,7 @@ void WindowedSummarizer::AddTimed(double ts, const WeightedKey& item) {
     if (cfg_.ingest_policy == IngestPolicy::kQuarantine) {
       // A record without a real position on the time axis cannot be
       // bucketed; quarantine it like a non-finite coordinate.
-      ++stats_.rejected_coord;
+      CountRejectedCoord();
       return;
     }
     throw std::invalid_argument("windowed summarizer: AddTimed with a "
@@ -375,7 +394,12 @@ void WindowedSummarizer::AddTimed(double ts, const WeightedKey& item) {
 }
 
 const Sample& WindowedSummarizer::MergedWindow() {
-  if (cache_valid_) return cached_window_;
+  const bool telemetry_on = TelemetryOn();
+  if (cache_valid_) {
+    if (telemetry_on) cache_hits_->Inc();
+    return cached_window_;
+  }
+  if (telemetry_on) cache_misses_->Inc();
   try {
     FaultPoint(cfg_.faults.get(), fault_sites::kWindowQueryMerge,
                cur_epoch_);
@@ -398,6 +422,7 @@ const Sample& WindowedSummarizer::MergedWindow() {
     // reproduces every queried sample bit-identically. The target size is
     // effective_s_, which tracks cfg.s until the max_bytes budget steps it
     // down.
+    if (telemetry_on) merge_fanin_->Observe(merge_parts_.size());
     Rng merge_rng(ForkSeed(
         merge_seed_base_,
         Mix64(static_cast<std::uint64_t>(cur_epoch_)) ^ cur_items_.size()));
@@ -419,6 +444,7 @@ const Sample& WindowedSummarizer::MergedWindow() {
 
 const Sample& WindowedSummarizer::QueryAt(double now) {
   RequireLive("QueryAt");
+  telemetry::Span query_span("window.query", query_ns_, TelemetryOn());
   Advance(now);
   return MergedWindow();
 }

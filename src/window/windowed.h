@@ -56,6 +56,11 @@
 
 namespace sas {
 
+namespace telemetry {
+class Counter;
+class Histogram;
+}  // namespace telemetry
+
 /// Parsed form of a composed "windowed:<W>:<B>:<inner-key>" key.
 struct WindowedKeySpec {
   double window = 0.0;  // W: window span in time units
@@ -224,6 +229,16 @@ class WindowedSummarizer : public Summarizer {
   std::size_t late_items_ = 0;
   std::size_t dropped_items_ = 0;
   std::size_t recycled_builders_ = 0;
+
+  // Telemetry instruments (core/telemetry.h), resolved once at
+  // construction; hot-path updates are guarded by TelemetryOn().
+  telemetry::Histogram* seal_ns_ = nullptr;
+  telemetry::Histogram* bucket_items_ = nullptr;
+  telemetry::Histogram* merge_fanin_ = nullptr;
+  telemetry::Histogram* query_ns_ = nullptr;
+  telemetry::Counter* expired_buckets_ = nullptr;
+  telemetry::Counter* cache_hits_ = nullptr;
+  telemetry::Counter* cache_misses_ = nullptr;
 };
 
 }  // namespace sas

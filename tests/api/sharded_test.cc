@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <stdexcept>
@@ -15,7 +16,9 @@
 #include <vector>
 
 #include "api/registry.h"
+#include "core/fault.h"
 #include "core/random.h"
+#include "core/telemetry.h"
 #include "test_util.h"
 
 namespace sas {
@@ -352,6 +355,33 @@ TEST(Sharded, AddAfterFinalizeThrows) {
   builder->Add({0, 1.0, {0, 0}});
   (void)builder->Finalize();
   EXPECT_THROW(builder->Add({1, 1.0, {1, 0}}), std::logic_error);
+}
+
+TEST(Sharded, BackPressureWaitLandsInTelemetryHistogram) {
+  // One shard with a delay schedule on the worker's batch drain: the
+  // bounded hand-off queue fills, the producer blocks in Enqueue, and the
+  // blocked wall time must land in sas.shard.backpressure_wait_ns (the
+  // histogram records only genuine blocking, never the uncontended path).
+  telemetry::Histogram* wait_hist =
+      telemetry::GetHistogram("sas.shard.backpressure_wait_ns");
+  const std::uint64_t waits_before = wait_hist->count();
+  const bool was_enabled = telemetry::Enabled();
+  telemetry::SetEnabled(true);
+
+  Rng data_rng(48);
+  const auto items = RandomItems(40000, 1 << 12, &data_rng);
+  SummarizerConfig cfg;
+  cfg.s = 200.0;
+  cfg.seed = 5;
+  cfg.faults = std::make_shared<FaultInjector>();
+  cfg.faults->Configure("shard.worker.batch=delay@1/1:1500");
+  {
+    auto builder = MakeSummarizer("sharded:1:obliv", cfg);
+    builder->AddBatch(items);
+    (void)builder->Finalize();
+  }
+  telemetry::SetEnabled(was_enabled);
+  EXPECT_GT(wait_hist->count(), waits_before);
 }
 
 TEST(Sharded, DestructionWithoutFinalizeJoinsWorkers) {

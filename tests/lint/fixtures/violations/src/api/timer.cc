@@ -1,0 +1,15 @@
+// Seeded violation: an ambient clock read outside the deterministic core
+// AND outside the telemetry facade — [timing-confined] must fire (the
+// core-dir variant of the same pattern is [wall-clock], seeded in
+// src/core/rogue.cc).
+#include <chrono>
+
+namespace fixture {
+
+double ElapsedSeconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace fixture

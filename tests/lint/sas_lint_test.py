@@ -53,9 +53,10 @@ class SasLintTest(unittest.TestCase):
         proc = self.lint("violations")
         self.assertEqual(proc.returncode, 1, proc.stdout)
         for rule in ("key-registered", "key-documented", "raw-rand",
-                     "wall-clock", "unforked-rng", "reinterpret-cast",
-                     "simd-intrinsics", "catch-all", "allow-syntax",
-                     "header-self-contained", "cmake-sources"):
+                     "wall-clock", "timing-confined", "unforked-rng",
+                     "reinterpret-cast", "simd-intrinsics", "catch-all",
+                     "allow-syntax", "header-self-contained",
+                     "cmake-sources"):
             self.assertIn(f"[{rule}]", proc.stdout,
                           f"rule {rule} did not fire:\n{proc.stdout}")
 
@@ -66,6 +67,7 @@ class SasLintTest(unittest.TestCase):
         self.assertIn("src/structure/cast.cc", out)
         self.assertIn("src/core/rogue.h", out)
         self.assertIn("src/api/keys.h", out)
+        self.assertIn("src/api/timer.cc", out)
 
     def test_allow_without_reason_is_flagged_not_honored(self):
         proc = self.lint("violations")

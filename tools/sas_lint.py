@@ -17,7 +17,14 @@ Rules (each violation prints "path:line: [rule] message"; exit 1 on any):
                          from an explicit seed through sas::Rng.
   wall-clock             no steady_clock/system_clock/high_resolution_clock
                          ::now() in the deterministic core — time enters
-                         through item timestamps, never ambient clocks.
+                         through item timestamps, never ambient clocks
+                         (src/core/telemetry* is the sanctioned exception;
+                         see timing-confined).
+  timing-confined        ambient clock reads (the same ::now() calls) are
+                         confined to src/core/telemetry* everywhere else
+                         under src/ too — all other code times itself
+                         through telemetry::NowNs()/Span, so "who reads the
+                         clock" stays a one-file audit.
   unforked-rng           no seedless Rng in the deterministic core (default
                          construction `Rng r;` / `Rng()`): generators are
                          seeded from config or derived via Fork/ForkSeed so
@@ -83,12 +90,16 @@ AUDITED_REINTERPRET_FILES = (
 )
 # Files allowed to touch x86 intrinsics directly (prefix match).
 SIMD_HOME_PREFIX = "src/core/simd"
+# The one place ambient clocks may be read (prefix match): everything else
+# times itself through telemetry::NowNs()/Span.
+TELEMETRY_HOME_PREFIX = "src/core/telemetry"
 
 RULES = (
     "key-registered",
     "key-documented",
     "raw-rand",
     "wall-clock",
+    "timing-confined",
     "unforked-rng",
     "reinterpret-cast",
     "simd-intrinsics",
@@ -223,12 +234,19 @@ class Linter:
             in_det_core = any(
                 relu.startswith(f"src/{d}/") for d in DETERMINISM_DIRS)
             audited = relu in AUDITED_REINTERPRET_FILES
+            timing_home = relu.startswith(TELEMETRY_HOME_PREFIX)
 
             rules_here = []
             if in_det_core:
                 rules_here += [("raw-rand", RE_RAW_RAND),
-                               ("wall-clock", RE_WALL_CLOCK),
                                ("unforked-rng", RE_UNFORKED_RNG)]
+                if not timing_home:
+                    rules_here.append(("wall-clock", RE_WALL_CLOCK))
+            elif not timing_home:
+                # Outside the deterministic core the clock read is not a
+                # determinism bug, but it still belongs in the telemetry
+                # facade — one auditable "who reads the clock" surface.
+                rules_here.append(("timing-confined", RE_WALL_CLOCK))
             if not audited:
                 rules_here.append(("reinterpret-cast", RE_REINTERPRET))
             if not relu.startswith(SIMD_HOME_PREFIX):
@@ -258,6 +276,11 @@ class Linter:
                                "catch the concrete exception types, or "
                                "carry '// sas-lint: allow(catch-all): "
                                f"<why>' on an audited boundary: {snippet}")
+                    elif rule == "timing-confined":
+                        msg = ("ambient clock read outside the telemetry "
+                               f"facade ({TELEMETRY_HOME_PREFIX}*) — time "
+                               "through telemetry::NowNs()/Span, or carry "
+                               "a reasoned allow: " + snippet)
                     elif rule == "unforked-rng":
                         msg = ("seedless Rng in the deterministic core — "
                                "seed from config or derive via "

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Render and diff telemetry snapshots (core/telemetry.h JSON export).
+
+The C++ side emits one JSON object per snapshot (telemetry::ToJson, also
+what `window_monitor --telemetry=json` prints):
+
+    {"counters":   {"<name>": <value>, ...},
+     "gauges":     {"<name>": <value>, ...},
+     "histograms": {"<name>": {"count": ..., "sum": ..., "max": ...,
+                               "p50": ..., "p90": ..., "p99": ...}, ...}}
+
+Usage:
+    sas_stats.py [snapshot.json]            # render one snapshot as a table
+    sas_stats.py --diff before.json after.json
+                                            # per-metric deltas (counters and
+                                            # histogram count/sum subtract;
+                                            # gauges show the later level)
+    sas_stats.py --prom snapshot.json       # re-render as Prometheus text
+
+Reading "-" (or no path) takes the snapshot from stdin; in either case the
+first line starting with "{" is parsed, so piping the full window_monitor
+output works without a grep.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_snapshot(path):
+    """Parses the first JSON-object line from `path` ("-" = stdin)."""
+    stream = sys.stdin if path in (None, "-") else open(path, encoding="utf-8")
+    try:
+        for line in stream:
+            if line.lstrip().startswith("{"):
+                return json.loads(line)
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    raise SystemExit(f"sas_stats: no JSON object found in {path or 'stdin'}")
+
+
+def render_table(snap, out=sys.stdout):
+    scalars = list(snap.get("counters", {}).items())
+    scalars += list(snap.get("gauges", {}).items())
+    if scalars:
+        width = max(len(name) for name, _ in scalars)
+        for name, value in scalars:
+            print(f"  {name:<{width}} {value:>14}", file=out)
+    hists = snap.get("histograms", {})
+    if hists:
+        width = max(len(name) for name in hists)
+        print(f"  {'histogram':<{width}} {'count':>10} {'p50':>12} "
+              f"{'p90':>12} {'p99':>12} {'max':>12}", file=out)
+        for name, h in hists.items():
+            print(f"  {name:<{width}} {h['count']:>10} "
+                  f"{h['p50']:>12.6g} {h['p90']:>12.6g} "
+                  f"{h['p99']:>12.6g} {h['max']:>12}", file=out)
+
+
+def render_diff(before, after, out=sys.stdout):
+    """Per-metric deltas; every metric of `after` is listed, delta 0 or not."""
+    prev = before.get("counters", {})
+    for name, value in after.get("counters", {}).items():
+        print(f"  {name:<40} {value:>14} (+{value - prev.get(name, 0)})",
+              file=out)
+    for name, value in after.get("gauges", {}).items():
+        print(f"  {name:<40} {value:>14} (level)", file=out)
+    prev = before.get("histograms", {})
+    for name, h in after.get("histograms", {}).items():
+        p = prev.get(name, {})
+        dcount = h["count"] - p.get("count", 0)
+        dsum = h["sum"] - p.get("sum", 0)
+        mean = dsum / dcount if dcount else 0.0
+        print(f"  {name:<40} +{dcount} observations, "
+              f"mean {mean:.6g}, max {h['max']}", file=out)
+
+
+def render_prom(snap, out=sys.stdout):
+    def prom_name(name):
+        return "".join(c if c.isalnum() or c in "_:" else "_" for c in name)
+
+    for name, value in snap.get("counters", {}).items():
+        n = prom_name(name)
+        print(f"# TYPE {n} counter\n{n} {value}", file=out)
+    for name, value in snap.get("gauges", {}).items():
+        n = prom_name(name)
+        print(f"# TYPE {n} gauge\n{n} {value}", file=out)
+    for name, h in snap.get("histograms", {}).items():
+        n = prom_name(name)
+        print(f"# TYPE {n} summary", file=out)
+        for q, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+            print(f'{n}{{quantile="{q}"}} {h[key]:.6g}', file=out)
+        print(f"{n}_sum {h['sum']}\n{n}_count {h['count']}", file=out)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Render/diff core/telemetry.h JSON snapshots.")
+    ap.add_argument("paths", nargs="*", default=[],
+                    help="snapshot file(s); '-' or none reads stdin")
+    ap.add_argument("--diff", action="store_true",
+                    help="two snapshots: print per-metric deltas")
+    ap.add_argument("--prom", action="store_true",
+                    help="re-render the snapshot as Prometheus text")
+    args = ap.parse_args(argv)
+
+    if args.diff:
+        if len(args.paths) != 2:
+            ap.error("--diff needs exactly two snapshot paths")
+        render_diff(load_snapshot(args.paths[0]),
+                    load_snapshot(args.paths[1]))
+        return 0
+    if len(args.paths) > 1:
+        ap.error("render mode takes at most one snapshot path")
+    snap = load_snapshot(args.paths[0] if args.paths else None)
+    if args.prom:
+        render_prom(snap)
+    else:
+        render_table(snap)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream (head, grep -q) closed the pipe early; not an error.
+        sys.exit(0)
