@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "api/sharded.h"
+#include "serve/servable.h"
 #include "window/windowed.h"
 
 namespace sas {
@@ -76,6 +77,13 @@ std::unique_ptr<Summarizer> MakeSummarizer(const std::string& key,
     ValidateCommon(key, cfg);
     return MakeWindowedSummarizer(key, cfg);
   }
+  // "serve:<inner-key>" wraps any sample-backed method in the lock-free
+  // serving tier (serve/servable.h): outermost-only (not mergeable), so it
+  // wraps the other composed keys but never nests under them.
+  if (IsServeKey(key)) {
+    ValidateCommon(key, cfg);
+    return MakeServableSummarizer(key, cfg);
+  }
   SummarizerFactory factory;
   {
     std::lock_guard<std::mutex> lock(RegistryMutex());
@@ -124,6 +132,13 @@ bool IsRegisteredSummarizer(const std::string& key) {
   if (IsWindowedKey(key)) {
     try {
       return IsRegisteredSummarizer(ParseWindowedKey(key).inner);
+    } catch (const std::invalid_argument&) {
+      return false;
+    }
+  }
+  if (IsServeKey(key)) {
+    try {
+      return IsRegisteredSummarizer(ParseServeKey(key));
     } catch (const std::invalid_argument&) {
       return false;
     }

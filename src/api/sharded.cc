@@ -413,6 +413,15 @@ void ShardedSummarizer::CloseAndJoin() {
 }
 
 std::unique_ptr<RangeSummary> ShardedSummarizer::Finalize() {
+  // Re-entry guard: a successful Finalize moves the shard samples into the
+  // merge, so a second call would silently merge moved-from (empty) shards.
+  // A *failed* Finalize (poisoned builder) stays callable — its contract is
+  // to report the full failure list on every call until Reset.
+  if (finalized_) {
+    throw std::logic_error(
+        "sharded summarizer: Finalize after Finalize (the builder already "
+        "produced its summary; Reset(seed) to build another)");
+  }
   CloseAndJoin();
   std::vector<ShardFailure> failures;
   for (auto& sh : shards_) {
@@ -441,6 +450,7 @@ std::unique_ptr<RangeSummary> ShardedSummarizer::Finalize() {
   telemetry::Span merge_span("shard.merge", merge_ns_, TelemetryOn());
   Sample merged =
       MergeAllSamples(parts, static_cast<std::size_t>(cfg_.s), &merge_rng);
+  finalized_ = true;
   return std::make_unique<SampleSummary>(key_, std::move(merged));
 }
 
@@ -470,6 +480,7 @@ bool ShardedSummarizer::Reset(std::uint64_t seed) {
   stats_.degradations = degrade_steps_;
   poisoned_.store(false, std::memory_order_release);
   joined_ = false;
+  finalized_ = false;
   SpawnWorkers();
   return true;
 }

@@ -171,6 +171,7 @@ class ShardedSummarizer : public Summarizer {
   std::vector<std::unique_ptr<Shard>> shards_;
   KeyId next_coord_id_ = 0;  // global ids handed out by AddCoords
   bool joined_ = false;
+  bool finalized_ = false;  // a summary was produced; Finalize re-entry throws
   std::uint32_t degrade_steps_ = 0;  // max_bytes halvings of the inner s
   std::atomic<bool> poisoned_{false};
 

@@ -41,6 +41,7 @@ namespace sas {
 
 class FaultInjector;
 class Hierarchy;
+class ServableSummarizer;
 class WindowedSummarizer;
 
 namespace telemetry {
@@ -254,6 +255,13 @@ class Summarizer {
   /// the plain Add/Finalize surface (the ring degenerates to one bucket
   /// at time 0).
   virtual WindowedSummarizer* AsWindowed() { return nullptr; }
+
+  /// Serving capability: downcast to the lock-free serving wrapper
+  /// (serve/servable.h), or nullptr for every non-serve method. The serve
+  /// wrapper exposes the QueryService that concurrent reader threads share
+  /// while this builder keeps ingesting and republishing; callers that
+  /// never downcast use the plain Add/Finalize surface unchanged.
+  virtual ServableSummarizer* AsServable() { return nullptr; }
 
   /// The validated config this builder was constructed with (Reset updates
   /// its seed in place).

@@ -1,0 +1,76 @@
+#include "core/epoch.h"
+
+#include <stdexcept>
+
+namespace sas {
+
+int EpochDomain::RegisterReader() {
+  for (int i = 0; i < kMaxReaders; ++i) {
+    bool expected = false;
+    if (slots_[static_cast<std::size_t>(i)].claimed.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      return i;
+    }
+  }
+  throw std::runtime_error(
+      "EpochDomain: all reader slots in use (kMaxReaders = 64); register "
+      "one slot per worker thread, not per query");
+}
+
+void EpochDomain::UnregisterReader(int slot) {
+  if (slot < 0 || slot >= kMaxReaders) {
+    throw std::invalid_argument("EpochDomain: bad reader slot");
+  }
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  s.pinned.store(kIdle, std::memory_order_release);
+  s.claimed.store(false, std::memory_order_release);
+}
+
+std::uint64_t EpochDomain::Pin(int slot) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    s.pinned.store(e, std::memory_order_seq_cst);
+    const std::uint64_t seen = global_epoch_.load(std::memory_order_seq_cst);
+    if (seen == e) return e;
+    // The publisher advanced between our advertisement and its validation:
+    // re-advertise the fresh epoch so MinActiveEpoch never under-reports us.
+    e = seen;
+  }
+}
+
+void EpochDomain::Unpin(int slot) {
+  slots_[static_cast<std::size_t>(slot)].pinned.store(
+      kIdle, std::memory_order_release);
+}
+
+std::uint64_t EpochDomain::Advance() {
+  return global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+}
+
+std::uint64_t EpochDomain::MinActiveEpoch() const {
+  std::uint64_t min = kIdle;
+  for (const Slot& s : slots_) {
+    const std::uint64_t e = s.pinned.load(std::memory_order_seq_cst);
+    if (e < min) min = e;
+  }
+  return min;
+}
+
+int EpochDomain::PinnedReaders() const {
+  int n = 0;
+  for (const Slot& s : slots_) {
+    if (s.pinned.load(std::memory_order_seq_cst) != kIdle) ++n;
+  }
+  return n;
+}
+
+int EpochDomain::RegisteredReaders() const {
+  int n = 0;
+  for (const Slot& s : slots_) {
+    if (s.claimed.load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+}  // namespace sas

@@ -1,0 +1,110 @@
+// Epoch-based reclamation for single-publisher / multi-reader data
+// structures (the serving tier, src/serve/). The primitive answers one
+// question: "can this retired object still be referenced by a concurrent
+// reader?" — without readers ever taking a lock or blocking the publisher.
+//
+// Protocol:
+//
+//   * Readers register once per thread (RegisterReader -> slot) and bracket
+//     every access with Pin(slot) / Unpin(slot). Pin advertises the global
+//     epoch the reader entered at; between Pin and Unpin the reader may
+//     dereference any pointer it loaded from the published structure.
+//   * The publisher swaps in new state, tags the displaced state with the
+//     current global epoch, then calls Advance(). State tagged with epoch t
+//     is reclaimable once MinActiveEpoch() > t: every reader pinned at an
+//     epoch <= t has since unpinned, and any reader pinned at an epoch
+//     >= t+1 pinned after Advance() — which happens after the swap — so it
+//     can only have loaded the new state.
+//
+// Memory ordering: Pin's store, its re-validation load, the publisher's
+// swap, and Advance() are all seq_cst, so the "pinned after Advance implies
+// loaded after swap" argument holds in the C++ total order of seq_cst
+// operations. The re-validation loop in Pin (store slot, re-load global,
+// retry on change) closes the window where a reader advertises a stale
+// epoch after the publisher already scanned its slot. Unpin is a release
+// store (the reader's accesses must not sink below it).
+//
+// Readers are lock-free, not wait-free: Pin retries while the publisher
+// advances concurrently, but each retry means the publisher made progress,
+// and the publisher never waits on readers at all (reclamation is deferred,
+// never blocking).
+//
+// Thread-safety: Pin/Unpin are per-slot (one thread per registered slot,
+// the registration contract); RegisterReader/UnregisterReader and
+// MinActiveEpoch/Advance are safe from any number of threads.
+
+#ifndef SAS_CORE_EPOCH_H_
+#define SAS_CORE_EPOCH_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace sas {
+
+class EpochDomain {
+ public:
+  /// Concurrently registered readers an EpochDomain supports; the 65th
+  /// RegisterReader throws. Sized for "threads on one machine", not for
+  /// open-ended sessions — register per worker thread, not per query.
+  static constexpr int kMaxReaders = 64;
+
+  /// Slot value meaning "not inside a read-side critical section".
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Claims a reader slot (index in [0, kMaxReaders)). Throws
+  /// std::runtime_error when all slots are taken. The slot is driven by one
+  /// thread at a time; hand it back with UnregisterReader.
+  int RegisterReader();
+
+  /// Releases a slot claimed by RegisterReader (the slot must be unpinned).
+  void UnregisterReader(int slot);
+
+  /// Enters a read-side critical section on `slot`: advertises the current
+  /// global epoch and returns it. Never blocks; retries its advertisement
+  /// while the publisher concurrently advances (each retry implies
+  /// publisher progress, so the loop is lock-free).
+  std::uint64_t Pin(int slot);
+
+  /// Leaves the read-side critical section of `slot`.
+  void Unpin(int slot);
+
+  /// The current global epoch (starts at 0).
+  std::uint64_t current_epoch() const {
+    return global_epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Publisher side: moves the global epoch forward and returns the *new*
+  /// epoch. Call after the old state has been unpublished (swapped out).
+  std::uint64_t Advance();
+
+  /// The smallest epoch any currently pinned reader advertises, or kIdle
+  /// when no reader is pinned. State retired under tag t is reclaimable
+  /// when MinActiveEpoch() > t.
+  std::uint64_t MinActiveEpoch() const;
+
+  /// Number of currently pinned readers (diagnostic; racy by nature).
+  int PinnedReaders() const;
+
+  /// Number of registered reader slots.
+  int RegisteredReaders() const;
+
+ private:
+  // One cache line per slot: a reader's Pin/Unpin traffic never false-shares
+  // with another reader's, and the publisher's scan walks predictable lines.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> pinned{kIdle};
+    std::atomic<bool> claimed{false};
+  };
+
+  std::atomic<std::uint64_t> global_epoch_{0};
+  std::array<Slot, kMaxReaders> slots_{};
+};
+
+}  // namespace sas
+
+#endif  // SAS_CORE_EPOCH_H_

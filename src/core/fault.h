@@ -65,6 +65,14 @@ inline constexpr const char kWindowQueryMerge[] = "window.query.merge";
 /// One successfully parsed trace row (fires by *corrupting* the row: the
 /// reader counts it malformed and drops it instead of throwing).
 inline constexpr const char kTraceRow[] = "trace.row";
+/// Publishing a freshly built serving snapshot (lane = publish ordinal,
+/// 0-based). Fires *before* the pointer swap: a failed publish leaves the
+/// previous snapshot serving (src/serve/query_service.h).
+inline constexpr const char kServePublish[] = "serve.publish";
+/// One deferred-reclamation pass over retired serving snapshots (lane =
+/// retired-list depth). Degrading site: a fired rule skips the pass; the
+/// garbage stays pending and the next publish retries.
+inline constexpr const char kServeReclaim[] = "serve.reclaim";
 }  // namespace fault_sites
 
 /// The exception an armed `fail` rule throws from its fault site. Carries

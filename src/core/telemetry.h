@@ -211,6 +211,9 @@ class Registry {
  private:
   struct Impl;
   Impl* impl();  // lazily built; never destroyed
+  // sas-lint: allow(atomic-publication): write-once lazy-init pointer that
+  // is never retired or swapped, so there is nothing to reclaim — the
+  // epoch protocol the rule protects does not apply.
   std::atomic<Impl*> impl_{nullptr};
 };
 

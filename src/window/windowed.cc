@@ -343,6 +343,13 @@ void WindowedSummarizer::Advance(double now) {
   RetireExpired(epoch);
   cur_epoch_ = epoch;
   InvalidateCache();
+  // Publish-on-ring-advance (the serving tier installs this hook): the ring
+  // is consistent at this point, so a hook failure — including a merge
+  // fault below — propagates without poisoning only when the merge itself
+  // stayed healthy (MergedWindow poisons on its own faults, as for any
+  // query). No hook, no merge: untimed and unserved windows keep their
+  // lazy merge-on-query behavior (and merges_performed() counts).
+  if (publish_hook_) publish_hook_(MergedWindow());
 }
 
 void WindowedSummarizer::Add(const WeightedKey& item) {

@@ -44,6 +44,7 @@
 #define SAS_WINDOW_WINDOWED_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -140,6 +141,19 @@ class WindowedSummarizer : public Summarizer {
   /// valid until the next non-const call.
   const Sample& QueryAt(double now);
 
+  /// Installs a publish hook invoked with the merged window sample every
+  /// time the ring advances past an epoch boundary (the serving tier —
+  /// serve/servable.h — republishes through this; the window layer itself
+  /// has no serve dependency). The hook runs on the ingest thread after the
+  /// ring is consistent; its exceptions propagate to the Advance caller
+  /// without poisoning the ring. Installing a hook makes every epoch
+  /// crossing merge eagerly (merges_performed() counts those merges too).
+  /// Pass nullptr to uninstall. Not called for the degenerate "no advance"
+  /// untimed use.
+  void SetPublishHook(std::function<void(const Sample&)> hook) {
+    publish_hook_ = std::move(hook);
+  }
+
   // --- Introspection (tests, benches, monitoring) ---
 
   double now() const { return now_; }
@@ -219,6 +233,7 @@ class WindowedSummarizer : public Summarizer {
   MergeScratch merge_scratch_;
   std::vector<const Sample*> merge_parts_;
 
+  std::function<void(const Sample&)> publish_hook_;
   Sample cached_window_;
   bool cache_valid_ = false;
   bool finalized_ = false;

@@ -357,6 +357,48 @@ TEST(Sharded, AddAfterFinalizeThrows) {
   EXPECT_THROW(builder->Add({1, 1.0, {1, 0}}), std::logic_error);
 }
 
+TEST(Sharded, FinalizeAfterFinalizeThrows) {
+  // Coverage gap found in audit: a second Finalize on a spent builder used
+  // to silently merge moved-from shard samples into a bogus summary. The
+  // contract is fail-fast, like Add-after-Finalize.
+  SummarizerConfig cfg;
+  cfg.s = 10.0;
+  auto builder = MakeSummarizer("sharded:2:obliv", cfg);
+  builder->Add({0, 1.0, {0, 0}});
+  (void)builder->Finalize();
+  EXPECT_THROW(builder->Finalize(), std::logic_error);
+}
+
+TEST(Sharded, ResetAfterFinalizeAllowsSecondBuild) {
+  Rng rng(73);
+  const auto items = RandomItems(400, 1 << 10, &rng);
+  SummarizerConfig cfg;
+  cfg.s = 40.0;
+  cfg.seed = 515;
+
+  auto builder = MakeSummarizer("sharded:2:obliv", cfg);
+  builder->AddBatch(items);
+  (void)builder->Finalize();
+
+  // Reset un-spends the builder: the recycled build must match a fresh
+  // builder with the same config and seed exactly.
+  ASSERT_TRUE(builder->Reset(515));
+  builder->AddBatch(items);
+  const auto recycled = builder->Finalize();
+
+  auto fresh = MakeSummarizer("sharded:2:obliv", cfg);
+  fresh->AddBatch(items);
+  const auto expected = fresh->Finalize();
+
+  const Sample& a = recycled->AsSample()->sample();
+  const Sample& b = expected->AsSample()->sample();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a.tau(), b.tau());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entries()[i].id, b.entries()[i].id) << i;
+  }
+}
+
 TEST(Sharded, BackPressureWaitLandsInTelemetryHistogram) {
   // One shard with a delay schedule on the worker's batch drain: the
   // bounded hand-off queue fills, the producer blocks in Enqueue, and the

@@ -3,6 +3,7 @@
 // negative test asserts it does NOT fire.
 #include "core/engine.h"
 
+#include <atomic>
 #include <chrono>
 
 namespace fixture {
@@ -24,6 +25,14 @@ void SpinPause() {
   // escape for the intrinsics rule; a spin-wait hint is not vector math.
   _mm_pause();
 }
+
+namespace {
+// sas-lint: allow(atomic-publication): fixture exercises the reasoned
+// escape — a write-once lazy-init pointer with nothing to reclaim.
+std::atomic<int*> g_lazy_table{nullptr};
+}  // namespace
+
+int* LazyTable() { return g_lazy_table.load(std::memory_order_acquire); }
 
 std::uint64_t ChecksumNoThrow(const std::vector<std::uint64_t>& values) {
   try {

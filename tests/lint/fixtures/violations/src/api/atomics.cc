@@ -1,0 +1,16 @@
+// Seeded violation: a raw atomic pointer published outside src/serve/ —
+// [atomic-publication] must fire (lock-free pointer hand-off belongs to
+// the serving tier's epoch-reclamation protocol).
+#include <atomic>
+
+namespace fixture {
+
+struct Blob {
+  int payload = 0;
+};
+
+std::atomic<Blob*> g_latest{nullptr};
+
+void PublishBlob(Blob* b) { g_latest.store(b, std::memory_order_release); }
+
+}  // namespace fixture

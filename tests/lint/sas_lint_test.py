@@ -55,8 +55,8 @@ class SasLintTest(unittest.TestCase):
         for rule in ("key-registered", "key-documented", "raw-rand",
                      "wall-clock", "timing-confined", "unforked-rng",
                      "reinterpret-cast", "simd-intrinsics", "catch-all",
-                     "allow-syntax", "header-self-contained",
-                     "cmake-sources"):
+                     "atomic-publication", "allow-syntax",
+                     "header-self-contained", "cmake-sources"):
             self.assertIn(f"[{rule}]", proc.stdout,
                           f"rule {rule} did not fire:\n{proc.stdout}")
 
@@ -68,6 +68,7 @@ class SasLintTest(unittest.TestCase):
         self.assertIn("src/core/rogue.h", out)
         self.assertIn("src/api/keys.h", out)
         self.assertIn("src/api/timer.cc", out)
+        self.assertIn("src/api/atomics.cc", out)
 
     def test_allow_without_reason_is_flagged_not_honored(self):
         proc = self.lint("violations")

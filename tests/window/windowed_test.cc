@@ -359,6 +359,89 @@ TEST(Windowed, QueryAtReusesCachedMergeUntilRingAdvances) {
   EXPECT_EQ(wb.win->merges_performed(), merges + 2);
 }
 
+TEST(Windowed, DirectAdvanceAcrossEpochsInvalidatesCachedMerge) {
+  // Coverage gap found in audit: the cache tests above invalidate via new
+  // items or via QueryAt's own implicit advance — a *direct* Advance()
+  // crossing an epoch (the ingest-thread path) must also invalidate, or a
+  // subsequent query would serve expired buckets from the stale cache.
+  Rng data_rng(61);
+  const auto items = RandomItems(3000, 1 << 12, &data_rng);
+  const auto ts = SpreadTimestamps(items.size(), 6.0);
+  SummarizerConfig cfg;
+  cfg.s = 150.0;
+  auto wb = MakeWindowed("windowed:8:4:obliv", cfg);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    wb.win->AddTimed(ts[i], items[i]);
+  }
+
+  const Sample& first = wb.win->QueryAt(6.0);
+  const std::size_t merges = wb.win->merges_performed();
+  const double total_before = first.EstimateTotal();
+  EXPECT_GT(total_before, 0.0);
+
+  // Direct advance across an epoch boundary, no new items: the next query
+  // must re-merge (one bucket started expiring from the ring).
+  wb.win->Advance(10.0);
+  const Sample& after = wb.win->QueryAt(10.0);
+  EXPECT_EQ(wb.win->merges_performed(), merges + 1);
+  EXPECT_LT(after.EstimateTotal(), total_before);
+
+  // Full expiry: an advance far past the horizon leaves an empty window,
+  // not a stale cached one.
+  wb.win->Advance(1000.0);
+  const Sample& empty = wb.win->QueryAt(1000.0);
+  EXPECT_EQ(wb.win->merges_performed(), merges + 2);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_DOUBLE_EQ(empty.EstimateTotal(), 0.0);
+}
+
+TEST(Windowed, PublishHookFiresPerRingAdvanceWithTheMergedWindow) {
+  Rng data_rng(62);
+  const auto items = RandomItems(2000, 1 << 12, &data_rng);
+  const auto ts = SpreadTimestamps(items.size(), 12.0);
+  SummarizerConfig cfg;
+  cfg.s = 100.0;
+
+  // Without a hook the ring merges lazily: streaming alone performs none.
+  auto plain = MakeWindowed("windowed:8:4:obliv", cfg);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    plain.win->AddTimed(ts[i], items[i]);
+  }
+  EXPECT_EQ(plain.win->merges_performed(), 0u);
+
+  // With a hook, every ring advance publishes the merged window eagerly.
+  auto wb = MakeWindowed("windowed:8:4:obliv", cfg);
+  std::size_t fires = 0;
+  double last_total = -1.0;
+  std::size_t last_size = 0;
+  wb.win->SetPublishHook([&](const Sample& merged) {
+    ++fires;
+    last_total = merged.EstimateTotal();
+    last_size = merged.size();
+  });
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    wb.win->AddTimed(ts[i], items[i]);
+  }
+  // Bucket width 2, timestamps in [0, 12): epochs 1..5 were crossed.
+  EXPECT_EQ(fires, 5u);
+
+  // An advance with no trailing items: the hook's view IS the cached
+  // merge, so querying at the same clock returns it bit-identically
+  // without re-merging.
+  wb.win->Advance(12.0);
+  EXPECT_EQ(fires, 6u);
+  const std::size_t merges = wb.win->merges_performed();
+  const Sample& q = wb.win->QueryAt(12.0);
+  EXPECT_EQ(wb.win->merges_performed(), merges);
+  EXPECT_EQ(q.EstimateTotal(), last_total);
+  EXPECT_EQ(q.size(), last_size);
+
+  // A null hook uninstalls: further advances go back to lazy merging.
+  wb.win->SetPublishHook(nullptr);
+  wb.win->Advance(14.0);
+  EXPECT_EQ(fires, 6u);
+}
+
 TEST(Windowed, DeterministicForFixedSeedWindowAndBuckets) {
   Rng data_rng(55);
   const auto items = RandomItems(12000, 1 << 13, &data_rng);

@@ -45,6 +45,13 @@ Rules (each violation prints "path:line: [rule] message"; exit 1 on any):
                          poisoned state; the audited sites (worker-thread
                          boundaries, poison-then-rethrow markers) carry a
                          reasoned `// sas-lint: allow(catch-all): <why>`.
+  atomic-publication     raw atomic pointer publication (`std::atomic<T*>`)
+                         is confined to the serving tier (src/serve/) —
+                         hand-rolled lock-free pointer hand-off anywhere
+                         else bypasses the epoch-reclamation protocol that
+                         makes it safe (docs/serving.md); other code shares
+                         state through the serve tier, a mutex, or a
+                         reasoned allow.
   allow-syntax           every `// sas-lint: allow(<rule>)` escape names a
                          known rule and carries a `: reason` string.
   header-self-contained  every header under src/ compiles on its own
@@ -81,6 +88,7 @@ REGISTRY_IMPL_FILES = (
     "src/api/sharded.cc",
     "src/api/adapters.h",
     "src/window/windowed.cc",
+    "src/serve/servable.cc",
 )
 KEYS_HEADER = "src/api/keys.h"
 KEYS_DOC = "docs/keys.md"
@@ -93,6 +101,10 @@ SIMD_HOME_PREFIX = "src/core/simd"
 # The one place ambient clocks may be read (prefix match): everything else
 # times itself through telemetry::NowNs()/Span.
 TELEMETRY_HOME_PREFIX = "src/core/telemetry"
+# The one directory allowed to publish raw atomic pointers (prefix match):
+# the serving tier owns the epoch-reclamation protocol that makes the
+# pattern safe.
+ATOMIC_HOME_PREFIX = "src/serve/"
 
 RULES = (
     "key-registered",
@@ -104,6 +116,7 @@ RULES = (
     "reinterpret-cast",
     "simd-intrinsics",
     "catch-all",
+    "atomic-publication",
     "allow-syntax",
     "header-self-contained",
     "cmake-sources",
@@ -128,6 +141,8 @@ RE_SIMD = re.compile(
     r"immintrin\.h|\b_mm\w*_\w+\s*\(|\b__m(?:64|128|256|512)[a-z]*\b")
 # Bare catch-all handler `catch (...)`.
 RE_CATCH_ALL = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
+# Atomic pointer publication: `std::atomic<T*>` (any pointee, cv or not).
+RE_ATOMIC_PTR = re.compile(r"\bstd\s*::\s*atomic\s*<[^<>]*\*[^<>]*>")
 
 RE_ALLOW = re.compile(
     r"//\s*sas-lint:\s*allow\(([^)\s]*)\)(?:\s*:\s*(\S.*))?")
@@ -251,6 +266,8 @@ class Linter:
                 rules_here.append(("reinterpret-cast", RE_REINTERPRET))
             if not relu.startswith(SIMD_HOME_PREFIX):
                 rules_here.append(("simd-intrinsics", RE_SIMD))
+            if not relu.startswith(ATOMIC_HOME_PREFIX):
+                rules_here.append(("atomic-publication", RE_ATOMIC_PTR))
             rules_here.append(("catch-all", RE_CATCH_ALL))
 
             for idx, line in enumerate(stripped, 1):
@@ -270,6 +287,12 @@ class Linter:
                         msg = ("x86 intrinsics outside the SIMD facade "
                                f"({SIMD_HOME_PREFIX}*) — add a dispatched "
                                "kernel to core/simd.h instead, or carry a "
+                               f"reasoned allow: {snippet}")
+                    elif rule == "atomic-publication":
+                        msg = ("raw std::atomic<T*> publication outside the "
+                               f"serving tier ({ATOMIC_HOME_PREFIX}*) — "
+                               "share state through serve/query_service.h "
+                               "(epoch-reclaimed) or a mutex, or carry a "
                                f"reasoned allow: {snippet}")
                     elif rule == "catch-all":
                         msg = ("bare catch (...) outside an audited site — "
